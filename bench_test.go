@@ -1,0 +1,212 @@
+package parsample
+
+// One benchmark per table/figure of the paper's evaluation. Each benchmark
+// regenerates the corresponding figure's data through the drivers in
+// internal/experiments; run with
+//
+//	go test -bench=Fig -benchmem .
+//
+// The benchmarked quantity is the wall time to reproduce the figure on this
+// machine; the figures' own content (who wins, by what factor) is asserted
+// by the tests in internal/experiments.
+
+import (
+	"fmt"
+	"testing"
+
+	"parsample/internal/datasets"
+	"parsample/internal/experiments"
+	"parsample/internal/graph"
+	"parsample/internal/sampling"
+)
+
+// BenchmarkFig04AEESByOrdering regenerates Figure 4 (AEES per cluster across
+// the ORIG/HD/LD/NO/RCM variants of YNG and MID).
+func BenchmarkFig04AEESByOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig05Overlap regenerates Figure 5 (node/edge overlap scatter,
+// original vs sampled, for UNT and CRE plus newly discovered clusters).
+func BenchmarkFig05Overlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig5()
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig06NodeOverlapAEES regenerates Figure 6 (node overlap vs AEES,
+// all networks).
+func BenchmarkFig06NodeOverlapAEES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig6()) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig07EdgeOverlapAEES regenerates Figure 7 (edge overlap vs AEES).
+func BenchmarkFig07EdgeOverlapAEES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig7()) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig08SensSpec regenerates Figure 8 (sensitivity/specificity of
+// node- vs edge-overlap cluster matching).
+func BenchmarkFig08SensSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkFig09CaseStudy regenerates Figure 9 (the filtering case study:
+// the cluster whose AEES improves most under the chordal filter).
+func BenchmarkFig09CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Scalability regenerates Figure 10 (execution time vs
+// processor count for the three parallel sampling algorithms on YNG and
+// CRE).
+func BenchmarkFig10Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig11ParallelQuality regenerates Figure 11 (CRE natural order:
+// 1P vs 64P cluster overlap and top clusters).
+func BenchmarkFig11ParallelQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomWalkControl regenerates the Section IV.B text result (the
+// random-walk control filter finds essentially no clusters).
+func BenchmarkRandomWalkControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RandomWalkClusters(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+// BenchmarkAblationSamplersYNG times the raw filters on the small network
+// (wall clock, not the Figure 10 cost model).
+func BenchmarkAblationSamplersYNG(b *testing.B) {
+	ds := datasets.YNG()
+	ord := graph.Order(ds.G, graph.Natural, ds.Seed)
+	for _, alg := range []sampling.Algorithm{
+		sampling.ChordalSeq, sampling.ChordalComm, sampling.ChordalNoComm, sampling.RandomWalkSeq,
+	} {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, P: 8, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWallClockParallel measures the real goroutine speedup of
+// the communication-free filter on the large network (the harness's actual
+// parallelism, complementing the modeled cluster times of Figure 10).
+func BenchmarkAblationWallClockParallel(b *testing.B) {
+	ds := datasets.CRE()
+	ord := graph.Order(ds.G, graph.Natural, ds.Seed)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.Run(sampling.ChordalNoComm, ds.G, sampling.Options{Order: ord, P: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLostFoundClusters regenerates the Section IV.A lost/found table.
+func BenchmarkLostFoundClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.LostFound()) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationCliqueRetention regenerates the H0 clique-retention study.
+func BenchmarkAblationCliqueRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CliqueRetentionStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHubPreservation regenerates the centrality-preservation
+// extension table (hub survival per filter).
+func BenchmarkAblationHubPreservation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HubPreservation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBorderRule regenerates the border-admission ablation
+// (triangle rule vs coin flip).
+func BenchmarkAblationBorderRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BorderRuleAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOrderings times the sequential chordal filter under each
+// vertex ordering on YNG (orderings change the subgraph, not the asymptotics).
+func BenchmarkAblationOrderings(b *testing.B) {
+	ds := datasets.YNG()
+	for _, o := range graph.AllOrderings {
+		ord := graph.Order(ds.G, o, ds.Seed)
+		b.Run(o.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.Run(sampling.ChordalSeq, ds.G, sampling.Options{Order: ord}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

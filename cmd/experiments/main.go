@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's tables and figures as text
+// tables.
+//
+// Usage:
+//
+//	experiments -fig 4        # one figure (4,5,6,7,8,9,10,11)
+//	experiments -fig rw       # the random-walk control result (Section IV.B)
+//	experiments -fig all      # everything (several minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsample/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|rw|lostfound|cliques|hubs|border|all")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	out := os.Stdout
+	run("4", func() error {
+		experiments.Header(out, "Figure 4: AEES per cluster across orderings (YNG, MID)")
+		experiments.WriteFig4(out, experiments.Fig4())
+		return nil
+	})
+	run("5", func() error {
+		experiments.Header(out, "Figure 5: node/edge overlap, original vs sampled (UNT, CRE)")
+		experiments.WriteOverlapPoints(out, experiments.Fig5())
+		return nil
+	})
+	run("6", func() error {
+		experiments.Header(out, "Figure 6: node overlap vs AEES (all networks)")
+		experiments.WriteOverlapPoints(out, experiments.Fig6())
+		return nil
+	})
+	run("7", func() error {
+		experiments.Header(out, "Figure 7: edge overlap vs AEES (all networks)")
+		experiments.WriteOverlapPoints(out, experiments.Fig7())
+		return nil
+	})
+	run("8", func() error {
+		experiments.Header(out, "Figure 8: sensitivity/specificity of node vs edge overlap")
+		experiments.WriteFig8(out, experiments.Fig8())
+		return nil
+	})
+	run("9", func() error {
+		experiments.Header(out, "Figure 9: filtering case study (AEES improvement)")
+		r, err := experiments.Fig9()
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig9(out, r)
+		return nil
+	})
+	run("10", func() error {
+		experiments.Header(out, "Figure 10: scalability of the sampling algorithms (modeled cluster time)")
+		rows, err := experiments.Fig10()
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig10(out, rows)
+		return nil
+	})
+	run("11", func() error {
+		experiments.Header(out, "Figure 11: CRE natural order, 1P vs 64P quality")
+		ov, tops, err := experiments.Fig11()
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig11(out, ov, tops)
+		return nil
+	})
+	run("rw", func() error {
+		experiments.Header(out, "Section IV.B: random-walk control filter cluster counts")
+		rows, err := experiments.RandomWalkClusters()
+		if err != nil {
+			return err
+		}
+		experiments.WriteRandomWalk(out, rows)
+		return nil
+	})
+	run("hubs", func() error {
+		experiments.Header(out, "Extension: hub (centrality) preservation per filter")
+		rows, err := experiments.HubPreservation()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-8s %-16s edges=%5d top50=%.2f degRank=%.2f cloRank=%.2f\n",
+				r.Network, r.Algorithm, r.EdgesKept, r.Top50Kept, r.DegreeRank, r.ClosenessRk)
+		}
+		return nil
+	})
+	run("lostfound", func() error {
+		experiments.Header(out, "Section IV.A: lost and found clusters per network and ordering")
+		experiments.WriteLostFound(out, experiments.LostFound())
+		return nil
+	})
+	run("cliques", func() error {
+		experiments.Header(out, "Hypothesis H0: maximal clique retention per filter (YNG)")
+		rows, err := experiments.CliqueRetentionStudy()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-8s %-16s edges=%5d clique-retention=%.2f\n",
+				r.Network, r.Algorithm, r.EdgesKept, r.Retention)
+		}
+		return nil
+	})
+	run("border", func() error {
+		experiments.Header(out, "Extension: border-admission ablation (triangle rule vs coin)")
+		rows, err := experiments.BorderRuleAblation()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-8s rule=%-8s P=%-3d edges=%6d module-edges-kept=%.2f\n",
+				r.Network, r.Rule, r.P, r.EdgesKept, r.ModuleEdgesKept)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,119 @@
+// Command parsample filters a network edge list with one of the paper's
+// sampling algorithms and writes the sampled edge list.
+//
+// Usage:
+//
+//	parsample -alg chordal-nocomm -order HD -p 8 [-seed 1] [-in net.txt] [-out filtered.txt] [-stats]
+//
+// With no -in/-out it reads stdin and writes stdout. -stats prints sampling
+// telemetry (edges kept, border edges, duplicates, per-rank operations) to
+// stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parsample/internal/graph"
+	"parsample/internal/sampling"
+)
+
+func main() {
+	var (
+		algName   = flag.String("alg", "chordal-nocomm", "algorithm: chordal-seq | chordal-comm | chordal-nocomm | randomwalk-seq | randomwalk-par | forestfire-seq | forestfire-par")
+		orderName = flag.String("order", "NO", "vertex ordering: NO | HD | LD | RCM | RAND")
+		p         = flag.Int("p", 1, "number of simulated processors")
+		seed      = flag.Int64("seed", 1, "random seed")
+		inPath    = flag.String("in", "", "input edge list (default stdin)")
+		outPath   = flag.String("out", "", "output edge list (default stdout)")
+		stats     = flag.Bool("stats", false, "print sampling statistics to stderr")
+	)
+	flag.Parse()
+
+	alg, ok := parseAlg(*algName)
+	if !ok {
+		fatalf("unknown algorithm %q", *algName)
+	}
+	ord, ok := parseOrder(*orderName)
+	if !ok {
+		fatalf("unknown ordering %q", *orderName)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("open input: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := graph.ReadEdgeList(in)
+	if err != nil {
+		fatalf("read network: %v", err)
+	}
+
+	res, err := sampling.Run(alg, g, sampling.Options{
+		Order: graph.Order(g, ord, *seed),
+		P:     *p,
+		Seed:  *seed,
+	})
+	if err != nil {
+		fatalf("sampling: %v", err)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("create output: %v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := graph.WriteEdgeList(out, res.Graph(g.N())); err != nil {
+		fatalf("write network: %v", err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "algorithm:     %s\n", res.Algorithm)
+		fmt.Fprintf(os.Stderr, "input:         %d vertices, %d edges\n", g.N(), g.M())
+		fmt.Fprintf(os.Stderr, "kept:          %d edges (%.1f%%)\n", res.Edges.Len(),
+			100*float64(res.Edges.Len())/float64(max(1, g.M())))
+		fmt.Fprintf(os.Stderr, "border edges:  %d (duplicated admissions: %d)\n",
+			res.BorderEdges, res.DuplicateBorderEdges)
+		fmt.Fprintf(os.Stderr, "ranks:         %d, bottleneck ops %d, messages %d, bytes %d\n",
+			res.Stats.P, res.Stats.MaxRankOps(), res.Stats.Messages, res.Stats.Bytes)
+	}
+}
+
+func parseAlg(s string) (sampling.Algorithm, bool) {
+	for _, a := range []sampling.Algorithm{
+		sampling.ChordalSeq, sampling.ChordalComm, sampling.ChordalNoComm,
+		sampling.RandomWalkSeq, sampling.RandomWalkPar,
+		sampling.ForestFireSeq, sampling.ForestFirePar,
+	} {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func parseOrder(s string) (graph.Ordering, bool) {
+	for _, o := range []graph.Ordering{
+		graph.Natural, graph.HighDegree, graph.LowDegree, graph.RCM, graph.RandomOrder,
+	} {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "parsample: "+format+"\n", args...)
+	os.Exit(1)
+}

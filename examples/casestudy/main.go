@@ -1,0 +1,98 @@
+// Casestudy: the paper's Figure 9 mechanism, end to end — a co-expression
+// module polluted by a clump of mutually correlated noise genes. MCODE on
+// the raw network absorbs the clump into the module's cluster and the
+// cluster's AEES collapses; the chordal filter cuts the clump's anchor edges
+// (they sit on chordless cycles), the clump falls away, and the cluster's
+// true function stands out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parsample"
+
+	"parsample/internal/analysis"
+	"parsample/internal/graph"
+	"parsample/internal/ontology"
+)
+
+func main() {
+	// One module of 8 genes plus heavy clumpy noise, in a small network so
+	// the effect is visible gene by gene.
+	pr := graph.PlantedModules(300, 260, graph.ModuleSpec{
+		Count: 4, MinSize: 7, MaxSize: 9, Density: 0.6,
+		NoiseDeg: 0.5, NoiseClumps: 2, Window: 3,
+	}, 5)
+	g := pr.G
+	dag := ontology.Generate(ontology.GenerateSpec{Depth: 10, Branch: 3, Seed: 2})
+	ann := ontology.AnnotateModules(dag, g.N(), pr.Modules, 8, 3)
+
+	origClusters := parsample.Clusters(g)
+	origScored := parsample.ScoreClusters(dag, ann, g, origClusters)
+	fmt.Printf("original network: %d vertices, %d edges, %d clusters\n", g.N(), g.M(), len(origClusters))
+	for _, sc := range origScored {
+		fmt.Printf("  cluster %-2d size %-3d AEES %6.2f\n",
+			sc.Cluster.ID, len(sc.Cluster.Vertices), sc.Score.AEES)
+	}
+
+	res, err := parsample.Filter(g, parsample.FilterOptions{
+		Algorithm: parsample.ChordalSeq,
+		Ordering:  parsample.HighDegree,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fg := res.Graph(g.N())
+	filtClusters := parsample.Clusters(fg)
+	filtScored := parsample.ScoreClusters(dag, ann, fg, filtClusters)
+	fmt.Printf("\nchordal filtered: %d edges kept, %d clusters\n", fg.M(), len(filtClusters))
+	for _, sc := range filtScored {
+		fmt.Printf("  cluster %-2d size %-3d AEES %6.2f\n",
+			sc.Cluster.ID, len(sc.Cluster.Vertices), sc.Score.AEES)
+	}
+
+	// Match filtered clusters back to originals and report the best AEES
+	// improvement — the Figure 9 case study.
+	matches := analysis.MatchClusters(g, origScored, fg, filtScored)
+	bestGain := 0.0
+	var best analysis.Match
+	for _, m := range matches {
+		if m.OriginalID < 0 || m.Overlap.NodeFrac < 0.25 {
+			continue
+		}
+		gain := filtScored[m.FilteredID].Score.AEES - origScored[m.OriginalID].Score.AEES
+		if gain > bestGain {
+			bestGain, best = gain, m
+		}
+	}
+	if bestGain == 0 {
+		fmt.Println("\nno improving cluster pair in this instance (try another seed)")
+		return
+	}
+	o := origScored[best.OriginalID]
+	f := filtScored[best.FilteredID]
+	fmt.Printf("\ncase study (cf. paper Fig 9, apoptosis cluster 2.33 -> 4.17):\n")
+	fmt.Printf("  original cluster %d: size %d, AEES %.2f\n",
+		o.Cluster.ID, len(o.Cluster.Vertices), o.Score.AEES)
+	fmt.Printf("  filtered cluster %d: size %d, AEES %.2f (gain %+.2f)\n",
+		f.Cluster.ID, len(f.Cluster.Vertices), f.Score.AEES, bestGain)
+	fmt.Printf("  node overlap %.0f%%, edge overlap %.0f%%\n",
+		100*best.Overlap.NodeFrac, 100*best.Overlap.EdgeFrac)
+
+	// Show which genes the filter removed from the cluster and their
+	// annotation depth — the "no apoptotic function" genes of the paper.
+	fset := f.Cluster.NodeSet()
+	fmt.Println("  genes removed from the cluster by filtering:")
+	for _, v := range o.Cluster.Vertices {
+		if !fset[v] {
+			depth := -1
+			for _, t := range ann.Terms(v) {
+				if d := dag.Depth(t); d > depth {
+					depth = d
+				}
+			}
+			fmt.Printf("    gene %-5d deepest annotation depth %d\n", v, depth)
+		}
+	}
+}

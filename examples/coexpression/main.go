@@ -1,0 +1,71 @@
+// Coexpression: the paper's full pipeline end to end on synthetic
+// microarray data — expression matrix → Pearson correlation network
+// (ρ ≥ 0.95, p ≤ 0.0005) → chordal filter → MCODE clusters → GO edge
+// enrichment (AEES) validation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parsample"
+
+	"parsample/internal/expr"
+	"parsample/internal/ontology"
+)
+
+func main() {
+	// Synthetic microarray: 800 genes × 30 arrays, six planted
+	// co-expression modules of 9 genes driven by shared latent profiles.
+	syn, err := expr.Synthesize(expr.SyntheticSpec{
+		Genes: 800, Samples: 30, Modules: 6, ModuleSize: 9, Noise: 0.08, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Correlation network with the paper's thresholds.
+	net := parsample.BuildCorrelationNetwork(syn.M, expr.NetworkOptions{
+		MinAbsR: 0.95, MaxP: 0.0005,
+	})
+	fmt.Printf("correlation network: %d genes, %d edges at rho>=0.95, p<=5e-4\n",
+		net.N(), net.M())
+
+	// Chordal filter.
+	res, err := parsample.Filter(net, parsample.FilterOptions{
+		Algorithm: parsample.ChordalSeq,
+		Ordering:  parsample.HighDegree,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	filtered := res.Graph(net.N())
+	fmt.Printf("chordal filter: kept %d/%d edges\n", filtered.M(), net.M())
+	if filtered.M() == net.M() {
+		// Section III: "Ideally, if the data is noise free, no reduction
+		// should occur." At these stringent thresholds the synthetic
+		// network is almost pure module signal.
+		fmt.Println("(no reduction: the thresholded network is essentially noise-free)")
+	}
+
+	// Cluster and validate against a GO-like ontology in which the planted
+	// modules share deep terms.
+	clusters := parsample.Clusters(filtered)
+	dag := ontology.Generate(ontology.GenerateSpec{Depth: 10, Branch: 3, Seed: 9})
+	ann := ontology.AnnotateModules(dag, 800, syn.Modules, 7, 11)
+	scored := parsample.ScoreClusters(dag, ann, filtered, clusters)
+
+	fmt.Printf("clusters: %d\n", len(scored))
+	relevant := 0
+	for _, sc := range scored {
+		tag := ""
+		if sc.Score.AEES >= 3 {
+			tag = "  <- biologically relevant"
+			relevant++
+		}
+		fmt.Printf("  cluster %-2d size %-2d edges %-3d AEES %5.2f dominant GO term %d%s\n",
+			sc.Cluster.ID, len(sc.Cluster.Vertices), sc.Score.Edges, sc.Score.AEES,
+			sc.Score.DominantTerm, tag)
+	}
+	fmt.Printf("%d/%d clusters clear the paper's AEES >= 3.0 bar\n", relevant, len(scored))
+}

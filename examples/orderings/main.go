@@ -1,0 +1,60 @@
+// Orderings: the paper's H0b study — how the vertex processing order
+// (Natural, High Degree, Low Degree, RCM) perturbs the maximal chordal
+// subgraph and, more importantly, how little it perturbs the biologically
+// relevant clusters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parsample"
+
+	"parsample/internal/analysis"
+	"parsample/internal/datasets"
+	"parsample/internal/graph"
+)
+
+func main() {
+	ds := datasets.YNG()
+	fmt.Printf("network %s: %d vertices, %d edges, %d planted modules\n",
+		ds.Name, ds.G.N(), ds.G.M(), len(ds.Modules))
+
+	origClusters := parsample.Clusters(ds.G)
+	origScored := parsample.ScoreClusters(ds.DAG, ds.Ann, ds.G, origClusters)
+	fmt.Printf("original network: %d clusters\n\n", len(origClusters))
+
+	fmt.Printf("%-8s %10s %10s %12s %14s %16s\n",
+		"ordering", "edges", "clusters", "AEES>=3", "module recall", "best node ovl")
+	for _, o := range graph.AllOrderings {
+		res, err := parsample.Filter(ds.G, parsample.FilterOptions{
+			Algorithm: parsample.ChordalSeq,
+			Ordering:  o,
+			Seed:      ds.Seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fg := res.Graph(ds.G.N())
+		clusters := parsample.Clusters(fg)
+		scored := parsample.ScoreClusters(ds.DAG, ds.Ann, fg, clusters)
+
+		relevant := 0
+		for _, sc := range scored {
+			if sc.Score.AEES >= 3 {
+				relevant++
+			}
+		}
+		recall := analysis.ModuleRecovery(ds.Modules, clusters, 0.5)
+		best := 0.0
+		for _, m := range analysis.MatchClusters(ds.G, origScored, fg, scored) {
+			if m.Overlap.NodeFrac > best {
+				best = m.Overlap.NodeFrac
+			}
+		}
+		fmt.Printf("%-8s %10d %10d %12d %13.0f%% %15.0f%%\n",
+			o, fg.M(), len(clusters), relevant, 100*recall, 100*best)
+	}
+	fmt.Println("\nH0b: the chordal subgraph changes with the ordering, but the")
+	fmt.Println("biologically relevant clusters are consistently identified.")
+}

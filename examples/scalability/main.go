@@ -1,0 +1,44 @@
+// Scalability: sweep processor counts for the three parallel sampling
+// algorithms on the paper's two representative networks (YNG small, CRE
+// large) and print both the modeled cluster execution time (Figure 10) and
+// this machine's wall-clock time for the goroutine implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"parsample/internal/datasets"
+	"parsample/internal/experiments"
+	"parsample/internal/graph"
+	"parsample/internal/sampling"
+)
+
+func main() {
+	model := experiments.Fig10CostModel()
+	algs := []sampling.Algorithm{
+		sampling.ChordalComm, sampling.ChordalNoComm, sampling.RandomWalkPar,
+	}
+	for _, ds := range []*datasets.Dataset{datasets.YNG(), datasets.CRE()} {
+		fmt.Printf("\n%s: %d vertices, %d edges\n", ds.Name, ds.G.N(), ds.G.M())
+		fmt.Printf("%-16s %4s  %12s  %10s  %8s  %8s\n",
+			"algorithm", "P", "modeled(s)", "wall(ms)", "msgs", "edges")
+		ord := graph.Order(ds.G, graph.Natural, ds.Seed)
+		for _, alg := range algs {
+			for _, p := range experiments.Fig10Processors {
+				t0 := time.Now()
+				res, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
+				if err != nil {
+					log.Fatal(err)
+				}
+				wall := time.Since(t0)
+				fmt.Printf("%-16s %4d  %12.4f  %10.2f  %8d  %8d\n",
+					alg, p, model.Time(&res.Stats), float64(wall.Microseconds())/1000,
+					res.Stats.Messages, res.Edges.Len())
+			}
+		}
+	}
+	fmt.Println("\nmodeled(s): distributed-memory cluster time from the Figure 10 cost model")
+	fmt.Println("wall(ms):   actual goroutine wall time on this machine")
+}

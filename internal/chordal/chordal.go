@@ -1,0 +1,134 @@
+// Package chordal implements maximal chordal subgraph extraction
+// (Dearing, Shier & Warner, Discrete Applied Mathematics 1988) and
+// chordality testing (maximum cardinality search + perfect elimination
+// ordering verification). These are the combinatorial kernels behind the
+// paper's adaptive sampling filter.
+package chordal
+
+import (
+	"container/heap"
+
+	"parsample/internal/graph"
+)
+
+// Result is the output of a maximal chordal subgraph extraction.
+type Result struct {
+	Edges graph.EdgeSet // edges of the chordal subgraph
+	// VisitOrder is the order in which the algorithm committed vertices; its
+	// reverse is a perfect elimination ordering of the subgraph.
+	VisitOrder []int32
+	// Ops counts elementary candidate-set operations performed; used by the
+	// scalability cost model (internal/mpisim).
+	Ops int64
+}
+
+// item is a heap entry for the next-vertex selection: largest candidate set
+// first, ties broken by position in the requested processing order.
+type item struct {
+	v    int32
+	size int32 // |B(v)| at push time (lazy; stale entries are skipped)
+	pos  int32 // position of v in the processing order
+}
+
+type prioQueue []item
+
+func (q prioQueue) Len() int { return len(q) }
+func (q prioQueue) Less(i, j int) bool {
+	if q[i].size != q[j].size {
+		return q[i].size > q[j].size
+	}
+	return q[i].pos < q[j].pos
+}
+func (q prioQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *prioQueue) Push(x any)   { *q = append(*q, x.(item)) }
+func (q *prioQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// MaximalSubgraph extracts a maximal chordal subgraph of g using the
+// Dearing–Shier–Warner traversal, O(E·d) for maximum degree d.
+//
+// Each unvisited vertex u carries a candidate set B(u): visited neighbors w
+// such that adding all edges {u,w} keeps the subgraph chordal (B(u) induces a
+// clique in the current subgraph). At every step the vertex with the largest
+// candidate set is committed (ties broken by the supplied processing order),
+// its candidate edges are added, and for every unvisited neighbor x of the
+// committed vertex v, B(x) grows by v whenever B(x) ⊆ B(v) — which preserves
+// the clique invariant since B(v) ∪ {v} is a clique.
+//
+// order must be a permutation of 0..g.N()-1; it supplies both the starting
+// bias and tie-breaking, which is how the paper's Natural / HighDegree /
+// LowDegree / RCM perturbations enter the algorithm.
+func MaximalSubgraph(g *graph.Graph, order []int32) *Result {
+	n := g.N()
+	res := &Result{
+		Edges:      graph.NewEdgeSet(g.M()),
+		VisitOrder: make([]int32, 0, n),
+	}
+	if n == 0 {
+		return res
+	}
+	pos := graph.InversePerm(order)
+
+	visited := make([]bool, n)
+	b := make([][]int32, n) // candidate sets
+	// Timestamped membership marks for O(|B(u)|) subset tests.
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+
+	q := make(prioQueue, 0, n)
+	for _, v := range order {
+		q = append(q, item{v: v, size: 0, pos: pos[v]})
+	}
+	heap.Init(&q)
+
+	stamp := int32(0)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(item)
+		v := it.v
+		if visited[v] || int32(len(b[v])) != it.size {
+			continue // stale entry
+		}
+		visited[v] = true
+		res.VisitOrder = append(res.VisitOrder, v)
+
+		// Commit edges v—w for all w ∈ B(v).
+		for _, w := range b[v] {
+			res.Edges.Add(v, w)
+		}
+
+		// Mark B(v) for subset tests.
+		for _, w := range b[v] {
+			mark[w] = stamp
+		}
+		bvLen := len(b[v])
+
+		for _, x := range g.Neighbors(v) {
+			if visited[x] {
+				continue
+			}
+			// B(x) ⊆ B(v)?
+			ok := len(b[x]) <= bvLen
+			if ok {
+				for _, w := range b[x] {
+					res.Ops++
+					if mark[w] != stamp {
+						ok = false
+						break
+					}
+				}
+			}
+			res.Ops++
+			if ok {
+				b[x] = append(b[x], v)
+				heap.Push(&q, item{v: x, size: int32(len(b[x])), pos: pos[x]})
+			}
+		}
+		stamp++
+		b[v] = nil
+	}
+	return res
+}
+
+// SubgraphGraph materializes the chordal subgraph over g.N() vertices.
+func (r *Result) SubgraphGraph(n int) *graph.Graph { return r.Edges.Graph(n) }

@@ -1,0 +1,121 @@
+package chordal
+
+import (
+	"parsample/internal/graph"
+)
+
+// LexBFSOrder computes a lexicographic breadth-first search order of g
+// (Rose, Tarjan & Lueker 1976) using the partition-refinement technique in
+// O(n + m). Like MCS, the reverse of a LexBFS order is a perfect elimination
+// ordering iff the graph is chordal; the two searches can produce different
+// orders, which makes LexBFS a useful cross-check (and an ablation) for the
+// chordality verifier.
+func LexBFSOrder(g *graph.Graph) []int32 {
+	n := g.N()
+	order := make([]int32, 0, n)
+	if n == 0 {
+		return order
+	}
+
+	// Doubly linked list of cells (partition classes), each holding a
+	// doubly linked list of vertices.
+	type cell struct {
+		prev, next int32 // cell links (-1 terminated)
+		head       int32 // first vertex in cell (-1 if empty)
+		mark       int32 // last refinement step that split this cell
+		newCell    int32 // cell created from this one during current step
+	}
+	cells := make([]cell, 1, n+1)
+	cells[0] = cell{prev: -1, next: -1, head: -1, mark: -1, newCell: -1}
+
+	vNext := make([]int32, n)
+	vPrev := make([]int32, n)
+	vCell := make([]int32, n)
+	visited := make([]bool, n)
+
+	// All vertices start in cell 0, in id order.
+	for v := n - 1; v >= 0; v-- {
+		v32 := int32(v)
+		vNext[v] = cells[0].head
+		vPrev[v] = -1
+		if cells[0].head >= 0 {
+			vPrev[cells[0].head] = v32
+		}
+		cells[0].head = v32
+		vCell[v] = 0
+	}
+	first := int32(0) // first cell in the list
+
+	removeVertex := func(v int32) {
+		c := vCell[v]
+		if vPrev[v] >= 0 {
+			vNext[vPrev[v]] = vNext[v]
+		} else {
+			cells[c].head = vNext[v]
+		}
+		if vNext[v] >= 0 {
+			vPrev[vNext[v]] = vPrev[v]
+		}
+	}
+
+	for step := int32(0); int(step) < n; step++ {
+		// Pop the first vertex of the first non-empty cell.
+		for first >= 0 && cells[first].head < 0 {
+			first = cells[first].next
+			if first >= 0 {
+				cells[first].prev = -1
+			}
+		}
+		if first < 0 {
+			break
+		}
+		v := cells[first].head
+		removeVertex(v)
+		visited[v] = true
+		order = append(order, v)
+
+		// Refine: move each unvisited neighbor into a cell immediately
+		// before its current cell (vertices with this neighbor sort ahead).
+		for _, u := range g.Neighbors(v) {
+			if visited[u] {
+				continue
+			}
+			c := vCell[u]
+			if cells[c].mark != step {
+				// Create the split cell in front of c.
+				nc := int32(len(cells))
+				cells = append(cells, cell{
+					prev: cells[c].prev, next: c, head: -1, mark: -1, newCell: -1,
+				})
+				if cells[c].prev >= 0 {
+					cells[cells[c].prev].next = nc
+				} else if first == c {
+					first = nc
+				}
+				cells[c].prev = nc
+				cells[c].mark = step
+				cells[c].newCell = nc
+			}
+			nc := cells[c].newCell
+			removeVertex(u)
+			vNext[u] = cells[nc].head
+			vPrev[u] = -1
+			if cells[nc].head >= 0 {
+				vPrev[cells[nc].head] = u
+			}
+			cells[nc].head = u
+			vCell[u] = nc
+		}
+	}
+	return order
+}
+
+// IsChordalLexBFS is an alternative chordality test using LexBFS instead of
+// maximum cardinality search. It must always agree with IsChordal.
+func IsChordalLexBFS(g *graph.Graph) bool {
+	order := LexBFSOrder(g)
+	if len(order) != g.N() {
+		return false
+	}
+	return IsPerfectEliminationOrdering(g, reversed(order))
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestHubPreservationChordalWins(t *testing.T) {
+	rows, err := HubPreservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlg := map[string]HubPreservationRow{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+		if r.Top50Kept < 0 || r.Top50Kept > 1 {
+			t.Fatalf("top50 out of range: %+v", r)
+		}
+		if r.DegreeRank < -1 || r.DegreeRank > 1 {
+			t.Fatalf("rank correlation out of range: %+v", r)
+		}
+	}
+	ch := byAlg["chordal-seq"]
+	rw := byAlg["randomwalk-seq"]
+	// The adaptive filter must preserve hub identity better than the
+	// agnostic control that keeps far fewer (and arbitrary) edges.
+	if ch.Top50Kept <= rw.Top50Kept {
+		t.Fatalf("chordal top-50 %.2f not above random walk %.2f", ch.Top50Kept, rw.Top50Kept)
+	}
+	if ch.DegreeRank <= rw.DegreeRank {
+		t.Fatalf("chordal degree-rank %.2f not above random walk %.2f", ch.DegreeRank, rw.DegreeRank)
+	}
+}
+
+func TestBorderRuleAblation(t *testing.T) {
+	rows, err := BorderRuleAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(rule string, p int) BorderRuleRow {
+		for _, r := range rows {
+			if r.Rule == rule && r.P == p {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", rule, p)
+		return BorderRuleRow{}
+	}
+	for _, p := range []int{8, 64} {
+		tri := get("triangle", p)
+		coin := get("coin", p)
+		if tri.ModuleEdgesKept <= 0 {
+			t.Fatalf("triangle rule kept no module edges at P=%d", p)
+		}
+		// The coin rule admits ~50% of ALL border edges — far more noise
+		// for comparable module coverage. The triangle rule must be more
+		// selective per retained module edge.
+		triSelectivity := tri.ModuleEdgesKept / float64(max(tri.EdgesKept, 1))
+		coinSelectivity := coin.ModuleEdgesKept / float64(max(coin.EdgesKept, 1))
+		if triSelectivity <= coinSelectivity {
+			t.Fatalf("P=%d: triangle rule selectivity %.2e not above coin %.2e",
+				p, triSelectivity, coinSelectivity)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (Figures 4–11 plus the random-walk cluster count reported in
+// the text). Each driver returns typed rows; the cmd/experiments binary and
+// the repository-level benchmarks render them.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"parsample/internal/analysis"
+	"parsample/internal/datasets"
+	"parsample/internal/graph"
+	"parsample/internal/mcode"
+	"parsample/internal/sampling"
+)
+
+// FilteredNet is one filtered network plus the sampling telemetry.
+type FilteredNet struct {
+	Dataset  *datasets.Dataset
+	Ordering graph.Ordering
+	Result   *sampling.Result
+	G        *graph.Graph
+}
+
+// Filter applies alg to the dataset's network under the given ordering and
+// processor count.
+func Filter(ds *datasets.Dataset, o graph.Ordering, alg sampling.Algorithm, p int) (*FilteredNet, error) {
+	ord := graph.Order(ds.G, o, ds.Seed)
+	res, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &FilteredNet{
+		Dataset:  ds,
+		Ordering: o,
+		Result:   res,
+		G:        res.Graph(ds.G.N()),
+	}, nil
+}
+
+// ScoredClusters runs MCODE on g and scores every cluster against the
+// dataset's ontology.
+func ScoredClusters(ds *datasets.Dataset, g *graph.Graph) []analysis.ScoredCluster {
+	clusters := mcode.FindClusters(g, mcode.DefaultParams())
+	return analysis.ScoreClusters(ds.DAG, ds.Ann, g, clusters)
+}
+
+// clusterCache memoizes (dataset, ordering, algorithm, P) cluster runs,
+// since several figures share the same filtered networks.
+var clusterCache sync.Map
+
+type cacheKey struct {
+	name string
+	ord  graph.Ordering
+	alg  sampling.Algorithm
+	p    int
+}
+
+// originalClusters returns the scored clusters of the unfiltered network.
+func originalClusters(ds *datasets.Dataset) []analysis.ScoredCluster {
+	key := cacheKey{name: ds.Name, ord: -1, alg: -1, p: 0}
+	if v, ok := clusterCache.Load(key); ok {
+		return v.([]analysis.ScoredCluster)
+	}
+	sc := ScoredClusters(ds, ds.G)
+	clusterCache.Store(key, sc)
+	return sc
+}
+
+// filteredClusters returns the scored clusters of a filtered network,
+// along with the filtered graph.
+func filteredClusters(ds *datasets.Dataset, o graph.Ordering, alg sampling.Algorithm, p int) ([]analysis.ScoredCluster, *graph.Graph, error) {
+	key := cacheKey{name: ds.Name, ord: o, alg: alg, p: p}
+	type entry struct {
+		sc []analysis.ScoredCluster
+		g  *graph.Graph
+	}
+	if v, ok := clusterCache.Load(key); ok {
+		e := v.(entry)
+		return e.sc, e.g, nil
+	}
+	fn, err := Filter(ds, o, alg, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := ScoredClusters(ds, fn.G)
+	clusterCache.Store(key, entry{sc: sc, g: fn.G})
+	return sc, fn.G, nil
+}
+
+// mustFilteredClusters panics on error; all internal call sites pass
+// validated arguments.
+func mustFilteredClusters(ds *datasets.Dataset, o graph.Ordering, alg sampling.Algorithm, p int) ([]analysis.ScoredCluster, *graph.Graph) {
+	sc, g, err := filteredClusters(ds, o, alg, p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return sc, g
+}

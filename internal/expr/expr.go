@@ -1,0 +1,264 @@
+// Package expr implements the microarray side of the paper's pipeline:
+// expression matrices, Pearson correlation over all gene pairs with
+// Student-t p-values, thresholding, and correlation-network construction.
+// Synthetic expression data with planted co-expressed modules substitutes
+// for the GEO datasets (GSE5078, GSE5140); see DESIGN.md.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"parsample/internal/graph"
+)
+
+// Matrix is a genes × samples expression matrix.
+type Matrix struct {
+	Genes   int
+	Samples int
+	data    []float64 // row-major: gene g sample s at g*Samples+s
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(genes, samples int) *Matrix {
+	return &Matrix{Genes: genes, Samples: samples, data: make([]float64, genes*samples)}
+}
+
+// At returns the expression of gene g in sample s.
+func (m *Matrix) At(g, s int) float64 { return m.data[g*m.Samples+s] }
+
+// Set assigns the expression of gene g in sample s.
+func (m *Matrix) Set(g, s int, v float64) { m.data[g*m.Samples+s] = v }
+
+// Row returns the expression profile of gene g (shared storage).
+func (m *Matrix) Row(g int) []float64 { return m.data[g*m.Samples : (g+1)*m.Samples] }
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+// It returns 0 when either vector has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// PValue returns the two-sided p-value for observing |r| under the null
+// hypothesis of zero correlation with n samples, via the exact Student-t
+// transform t = r·√((n−2)/(1−r²)) and the regularized incomplete beta
+// function.
+func PValue(r float64, n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	r2 := r * r
+	if r2 >= 1 {
+		return 0
+	}
+	df := float64(n - 2)
+	t2 := r2 * df / (1 - r2)
+	// Two-sided p = I_{df/(df+t²)}(df/2, 1/2).
+	return regIncBeta(df/2, 0.5, df/(df+t2))
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betacf(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// NetworkOptions controls correlation-network construction, mirroring the
+// paper: Pearson p ≤ 0.0005 and 0.95 ≤ |ρ| ≤ 1.00 by default.
+type NetworkOptions struct {
+	MinAbsR  float64 // minimum |correlation| (default 0.95)
+	MaxP     float64 // maximum p-value (default 0.0005)
+	Workers  int     // parallel workers (default GOMAXPROCS)
+	Negative bool    // if true, strong negative correlations also make edges
+}
+
+// BuildNetwork computes all-pairs Pearson correlations in parallel and
+// returns the thresholded correlation network.
+func BuildNetwork(m *Matrix, opts NetworkOptions) *graph.Graph {
+	if opts.MinAbsR == 0 {
+		opts.MinAbsR = 0.95
+	}
+	if opts.MaxP == 0 {
+		opts.MaxP = 0.0005
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	type edgeList struct{ edges []graph.Edge }
+	results := make([]edgeList, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []graph.Edge
+			// Strided row assignment balances the triangular loop.
+			for g1 := w; g1 < m.Genes; g1 += opts.Workers {
+				r1 := m.Row(g1)
+				for g2 := g1 + 1; g2 < m.Genes; g2++ {
+					r := Pearson(r1, m.Row(g2))
+					if !opts.Negative && r < 0 {
+						continue
+					}
+					if math.Abs(r) < opts.MinAbsR {
+						continue
+					}
+					if PValue(r, m.Samples) > opts.MaxP {
+						continue
+					}
+					local = append(local, graph.Edge{U: int32(g1), V: int32(g2)})
+				}
+			}
+			results[w] = edgeList{edges: local}
+		}(w)
+	}
+	wg.Wait()
+	b := graph.NewBuilder(m.Genes)
+	for _, r := range results {
+		for _, e := range r.edges {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+// SyntheticSpec describes a synthetic microarray experiment with planted
+// co-expressed modules: module genes follow a shared latent profile with
+// small independent noise; background genes are independent.
+type SyntheticSpec struct {
+	Genes      int
+	Samples    int
+	Modules    int
+	ModuleSize int
+	Noise      float64 // within-module noise std-dev (latent signal has σ=1)
+	Seed       int64
+}
+
+// SyntheticResult carries the generated matrix and the ground truth.
+type SyntheticResult struct {
+	M       *Matrix
+	Modules [][]int32 // gene ids per planted module
+}
+
+// Synthesize generates the synthetic expression matrix.
+func Synthesize(spec SyntheticSpec) (*SyntheticResult, error) {
+	if spec.Genes <= 0 || spec.Samples <= 2 {
+		return nil, fmt.Errorf("expr: need genes > 0 and samples > 2, got %d, %d", spec.Genes, spec.Samples)
+	}
+	if spec.Modules*spec.ModuleSize > spec.Genes {
+		return nil, fmt.Errorf("expr: %d modules of %d genes exceed %d genes",
+			spec.Modules, spec.ModuleSize, spec.Genes)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	m := NewMatrix(spec.Genes, spec.Samples)
+	res := &SyntheticResult{M: m}
+	// Background: independent N(0,1).
+	for g := 0; g < spec.Genes; g++ {
+		for s := 0; s < spec.Samples; s++ {
+			m.Set(g, s, rng.NormFloat64())
+		}
+	}
+	// Planted modules on a random gene subset.
+	perm := rng.Perm(spec.Genes)
+	next := 0
+	for mi := 0; mi < spec.Modules; mi++ {
+		latent := make([]float64, spec.Samples)
+		for s := range latent {
+			latent[s] = rng.NormFloat64()
+		}
+		mod := make([]int32, spec.ModuleSize)
+		for i := 0; i < spec.ModuleSize; i++ {
+			gid := perm[next]
+			next++
+			mod[i] = int32(gid)
+			for s := 0; s < spec.Samples; s++ {
+				m.Set(gid, s, latent[s]+spec.Noise*rng.NormFloat64())
+			}
+		}
+		res.Modules = append(res.Modules, mod)
+	}
+	return res, nil
+}

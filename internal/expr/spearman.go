@@ -1,0 +1,76 @@
+package expr
+
+import (
+	"math"
+	"sort"
+)
+
+// Spearman returns the Spearman rank correlation coefficient of x and y —
+// the Pearson correlation of their (average-tied) ranks. Rank correlation is
+// the standard robust alternative for microarray data with outliers or
+// non-linear monotone relationships. Returns 0 on length mismatch, fewer
+// than two samples, or zero rank variance.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	return Pearson(rankVector(x), rankVector(y))
+}
+
+// rankVector assigns 1-based average ranks with tie handling.
+func rankVector(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// CorrelationKind selects the correlation statistic for network building.
+type CorrelationKind int
+
+const (
+	// PearsonCorr uses Pearson's product-moment correlation (the paper's
+	// choice).
+	PearsonCorr CorrelationKind = iota
+	// SpearmanCorr uses Spearman rank correlation.
+	SpearmanCorr
+)
+
+// String names the correlation statistic.
+func (k CorrelationKind) String() string {
+	if k == SpearmanCorr {
+		return "spearman"
+	}
+	return "pearson"
+}
+
+// Correlate computes the selected correlation of two expression profiles.
+func Correlate(kind CorrelationKind, x, y []float64) float64 {
+	if kind == SpearmanCorr {
+		return Spearman(x, y)
+	}
+	return Pearson(x, y)
+}
+
+// FisherZ returns the Fisher z-transform of a correlation coefficient,
+// atanh(r), useful for comparing or averaging correlations. Returns ±Inf at
+// r = ±1.
+func FisherZ(r float64) float64 { return math.Atanh(r) }
+
+// FisherZInv inverts FisherZ.
+func FisherZInv(z float64) float64 { return math.Tanh(z) }

@@ -1,0 +1,173 @@
+package expr
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125} // nonlinear but monotone
+	if r := Spearman(x, y); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("monotone spearman = %v, want 1", r)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if r := Spearman(x, rev); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("reversed spearman = %v, want -1", r)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("single sample must give 0")
+	}
+	if Spearman([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("length mismatch must give 0")
+	}
+	if Spearman([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant vector must give 0")
+	}
+}
+
+func TestSpearmanRobustToOutliers(t *testing.T) {
+	// Pearson collapses under an extreme outlier; Spearman does not.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{1.1, 2.2, 2.9, 4.1, 5.2, 5.9, 7.1, 1e6}
+	p := Pearson(x, y)
+	s := Spearman(x, y)
+	if s < 0.9 {
+		t.Fatalf("spearman = %v, want near 1 under outlier", s)
+	}
+	if p > s {
+		t.Fatalf("pearson %v should be depressed below spearman %v by the outlier", p, s)
+	}
+}
+
+func TestSpearmanBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Spearman(x, y)
+		return r >= -1-1e-9 && r <= 1+1e-9 && math.Abs(Spearman(y, x)-r) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankVectorTies(t *testing.T) {
+	got := rankVector([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCorrelateDispatch(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 4, 9, 16}
+	if Correlate(SpearmanCorr, x, y) != Spearman(x, y) {
+		t.Fatal("spearman dispatch wrong")
+	}
+	if Correlate(PearsonCorr, x, y) != Pearson(x, y) {
+		t.Fatal("pearson dispatch wrong")
+	}
+	if PearsonCorr.String() != "pearson" || SpearmanCorr.String() != "spearman" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestFisherZRoundTrip(t *testing.T) {
+	for _, r := range []float64{-0.9, -0.5, 0, 0.3, 0.95} {
+		if math.Abs(FisherZInv(FisherZ(r))-r) > 1e-12 {
+			t.Fatalf("fisher round trip failed at %v", r)
+		}
+	}
+	if !math.IsInf(FisherZ(1), 1) {
+		t.Fatal("FisherZ(1) should be +Inf")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res, err := Synthesize(SyntheticSpec{Genes: 20, Samples: 6, Modules: 2, ModuleSize: 4, Noise: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res.M); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Genes != res.M.Genes || m2.Samples != res.M.Samples {
+		t.Fatalf("round trip shape: %dx%d", m2.Genes, m2.Samples)
+	}
+	for g := 0; g < m2.Genes; g++ {
+		for s := 0; s < m2.Samples; s++ {
+			if m2.At(g, s) != res.M.At(g, s) {
+				t.Fatalf("value mismatch at %d,%d", g, s)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"gene,s0\n",
+		"gene\n1\n",
+		"gene,s0\n0,notanumber\n",
+		"gene,s0,s1\n0,1\n",
+	} {
+		if _, err := ReadCSV(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("input %q: want error", bad)
+		}
+	}
+}
+
+func TestThresholdSweepMonotone(t *testing.T) {
+	res, err := Synthesize(SyntheticSpec{
+		Genes: 200, Samples: 30, Modules: 3, ModuleSize: 8, Noise: 0.15, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresholds := []float64{0.80, 0.90, 0.95, 0.99}
+	pts := ThresholdSweep(res.M, thresholds, 0.0005, 4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Edge count decreases monotonically with the threshold.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Edges > pts[i-1].Edges {
+			t.Fatalf("edge count not monotone: %+v", pts)
+		}
+	}
+	// The 0.95 network matches a direct BuildNetwork at 0.95.
+	direct := BuildNetwork(res.M, NetworkOptions{MinAbsR: 0.95, MaxP: 0.0005})
+	if pts[2].Edges != direct.M() {
+		t.Fatalf("sweep at 0.95 has %d edges, direct build %d", pts[2].Edges, direct.M())
+	}
+	if pts[0].Edges == 0 {
+		t.Fatal("0.80 threshold should keep module edges")
+	}
+}
+
+func TestThresholdSweepEmpty(t *testing.T) {
+	if pts := ThresholdSweep(NewMatrix(5, 5), nil, 0.05, 1); pts != nil {
+		t.Fatal("empty thresholds should give nil")
+	}
+}

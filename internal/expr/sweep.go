@@ -1,0 +1,63 @@
+package expr
+
+import (
+	"parsample/internal/graph"
+)
+
+// SweepPoint is one row of a correlation-threshold sweep.
+type SweepPoint struct {
+	MinAbsR   float64
+	Edges     int
+	Density   float64
+	MaxDegree int
+}
+
+// ThresholdSweep builds the correlation network at each |ρ| threshold and
+// reports its size. The paper thresholds at 0.95; the sweep shows the
+// edge-count cliff that motivates the choice (too low floods the network
+// with coincidental correlations, too high erases modules).
+//
+// All-pairs correlations are computed once and re-thresholded, so the sweep
+// costs one BuildNetwork-equivalent pass plus cheap filtering.
+func ThresholdSweep(m *Matrix, thresholds []float64, maxP float64, workers int) []SweepPoint {
+	if len(thresholds) == 0 {
+		return nil
+	}
+	// Lowest threshold first: compute the superset network once.
+	minThresh := thresholds[0]
+	for _, t := range thresholds {
+		if t < minThresh {
+			minThresh = t
+		}
+	}
+	base := BuildNetwork(m, NetworkOptions{MinAbsR: minThresh, MaxP: maxP, Workers: workers})
+	// Re-score the surviving edges once.
+	type scoredEdge struct {
+		e graph.Edge
+		r float64
+	}
+	edges := make([]scoredEdge, 0, base.M())
+	base.ForEachEdge(func(u, v int32) {
+		edges = append(edges, scoredEdge{
+			e: graph.Edge{U: u, V: v},
+			r: Pearson(m.Row(int(u)), m.Row(int(v))),
+		})
+	})
+	out := make([]SweepPoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		b := graph.NewBuilder(m.Genes)
+		for _, se := range edges {
+			if se.r >= t {
+				b.AddEdge(se.e.U, se.e.V)
+			}
+		}
+		g := b.Build()
+		out = append(out, SweepPoint{
+			MinAbsR:   t,
+			Edges:     g.M(),
+			Density:   graph.Density(g),
+			MaxDegree: g.MaxDegree(),
+		})
+	}
+	return out
+}

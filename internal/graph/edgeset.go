@@ -1,0 +1,84 @@
+package graph
+
+// EdgeKey packs a normalized undirected edge into a comparable uint64.
+func EdgeKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// KeyEdge unpacks an EdgeKey back into a normalized Edge.
+func KeyEdge(k uint64) Edge {
+	return Edge{int32(k >> 32), int32(k & 0xffffffff)}
+}
+
+// EdgeSet is a set of undirected edges.
+type EdgeSet map[uint64]struct{}
+
+// NewEdgeSet returns an empty edge set with the given capacity hint.
+func NewEdgeSet(capHint int) EdgeSet { return make(EdgeSet, capHint) }
+
+// Add inserts the edge {u, v}. Self loops are ignored.
+func (s EdgeSet) Add(u, v int32) {
+	if u == v {
+		return
+	}
+	s[EdgeKey(u, v)] = struct{}{}
+}
+
+// Has reports whether the edge {u, v} is in the set.
+func (s EdgeSet) Has(u, v int32) bool {
+	_, ok := s[EdgeKey(u, v)]
+	return ok
+}
+
+// Len returns the number of edges in the set.
+func (s EdgeSet) Len() int { return len(s) }
+
+// AddSet inserts every edge of t into s.
+func (s EdgeSet) AddSet(t EdgeSet) {
+	for k := range t {
+		s[k] = struct{}{}
+	}
+}
+
+// Edges returns the edges of the set in unspecified order.
+func (s EdgeSet) Edges() []Edge {
+	out := make([]Edge, 0, len(s))
+	for k := range s {
+		out = append(out, KeyEdge(k))
+	}
+	return out
+}
+
+// Graph materializes the edge set as a Graph over n vertices.
+func (s EdgeSet) Graph(n int) *Graph {
+	b := NewBuilder(n)
+	for k := range s {
+		e := KeyEdge(k)
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// EdgeSetOf collects all edges of g into a set.
+func EdgeSetOf(g *Graph) EdgeSet {
+	s := NewEdgeSet(g.M())
+	g.ForEachEdge(func(u, v int32) { s.Add(u, v) })
+	return s
+}
+
+// IntersectionSize returns |s ∩ t|.
+func (s EdgeSet) IntersectionSize(t EdgeSet) int {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	n := 0
+	for k := range s {
+		if _, ok := t[k]; ok {
+			n++
+		}
+	}
+	return n
+}

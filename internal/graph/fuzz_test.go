@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the edge-list parser with arbitrary input: it
+// must never panic, and anything it accepts must round-trip through
+// WriteEdgeList into an equivalent graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("# 4 2\n0 1\n2 3\n")
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("5 5\n")
+	f.Add("1 2 3 extra\n")
+	f.Add("99999999999999999999 1\n")
+	f.Add("-3 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(bytes.NewBufferString(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed graph: %v -> %v", g, g2)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+// Package graph provides the undirected-graph substrate used by the
+// parallel adaptive sampling algorithms: a compact adjacency representation,
+// edge sets, vertex orderings, partitioning, generators and edge-list I/O.
+//
+// Vertices are dense int32 identifiers in [0, N). All graphs are simple
+// (no self loops, no multi-edges) and undirected.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph with sorted adjacency lists.
+// The zero value is an empty graph with no vertices.
+type Graph struct {
+	adj [][]int32
+	m   int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v || int(u) >= len(g.adj) || int(v) >= len(g.adj) || u < 0 || v < 0 {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, u, v = g.adj[v], v, u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, a := range g.adj {
+		if len(a) > d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// Edge is an undirected edge normalized so that U < V.
+type Edge struct{ U, V int32 }
+
+// NormEdge returns the normalized form of the edge {u, v}.
+func NormEdge(u, v int32) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{u, v}
+}
+
+// Edges returns all edges of g in sorted (U, V) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				out = append(out, Edge{int32(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v int32)) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				fn(int32(u), v)
+			}
+		}
+	}
+}
+
+// String returns a short diagnostic description of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self loops are discarded at Build time.
+type Builder struct {
+	n   int
+	adj [][]int32
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]int32, n)}
+}
+
+// AddEdge records the undirected edge {u, v}. Self loops are ignored.
+// AddEdge panics if either endpoint is out of range.
+func (b *Builder) AddEdge(u, v int32) {
+	if int(u) >= b.n || int(v) >= b.n || u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// Build finalizes the graph: adjacency lists are sorted and deduplicated.
+// The builder must not be used after Build.
+func (b *Builder) Build() *Graph {
+	g := &Graph{adj: b.adj}
+	m := 0
+	for v := range g.adj {
+		a := g.adj[v]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		// Deduplicate in place.
+		k := 0
+		for i := 0; i < len(a); i++ {
+			if k == 0 || a[i] != a[k-1] {
+				a[k] = a[i]
+				k++
+			}
+		}
+		g.adj[v] = a[:k]
+		m += k
+	}
+	g.m = m / 2
+	b.adj = nil
+	return g
+}
+
+// FromEdges builds a graph with n vertices from the given edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// Subgraph returns the subgraph induced by keep (original vertex ids are
+// preserved; edges with an endpoint outside keep are dropped). keep must not
+// contain duplicates.
+func (g *Graph) Subgraph(keep []int32) *Graph {
+	in := make([]bool, g.N())
+	for _, v := range keep {
+		in[v] = true
+	}
+	b := NewBuilder(g.N())
+	for _, u := range keep {
+		for _, v := range g.adj[u] {
+			if u < v && in[v] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompactSubgraph returns the subgraph induced by keep with vertices
+// relabelled to 0..len(keep)-1 (in the order given), plus the local→global
+// vertex map.
+func (g *Graph) CompactSubgraph(keep []int32) (*Graph, []int32) {
+	local := make(map[int32]int32, len(keep))
+	for i, v := range keep {
+		local[v] = int32(i)
+	}
+	b := NewBuilder(len(keep))
+	for i, u := range keep {
+		for _, v := range g.adj[u] {
+			if lv, ok := local[v]; ok && u < v {
+				b.AddEdge(int32(i), lv)
+			}
+		}
+	}
+	toGlobal := make([]int32, len(keep))
+	copy(toGlobal, keep)
+	return b.Build(), toGlobal
+}

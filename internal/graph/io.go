@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as whitespace-separated "u v" pairs, one edge per
+// line, preceded by a "# n m" header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int32) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' are treated as comments; the first comment may carry "# n m" and
+// fixes the vertex count, otherwise n is 1 + the largest endpoint seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	n := -1
+	var edges []Edge
+	maxV := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if n < 0 {
+				f := strings.Fields(strings.TrimPrefix(line, "#"))
+				if len(f) >= 1 {
+					if v, err := strconv.Atoi(f[0]); err == nil {
+						n = v
+					}
+				}
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, f[0], err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, f[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		e := NormEdge(int32(u), int32(v))
+		edges = append(edges, e)
+		if e.V > maxV {
+			maxV = e.V
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxV) + 1
+	}
+	// Guard against hostile or corrupt headers before allocating adjacency.
+	const maxVertices = 1 << 26
+	if n > maxVertices {
+		return nil, fmt.Errorf("graph: declared vertex count %d exceeds limit %d", n, maxVertices)
+	}
+	if int(maxV) >= n {
+		return nil, fmt.Errorf("graph: vertex id %d out of declared range %d", maxV, n)
+	}
+	return FromEdges(n, edges), nil
+}

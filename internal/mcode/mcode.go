@@ -1,0 +1,385 @@
+// Package mcode implements the MCODE clustering algorithm (Bader & Hogue,
+// BMC Bioinformatics 2003), the algorithm behind AllegroMCODE which the
+// paper uses to identify gene clusters: vertices are weighted by the density
+// of the highest k-core of their neighborhood, complexes grow from seed
+// vertices by a weight-percentage rule, and clusters are scored by
+// density × size. The paper keeps clusters with score ≥ 3.0.
+package mcode
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"parsample/internal/graph"
+)
+
+// Params configures MCODE. Zero values select the defaults the paper used
+// (AllegroMCODE 1.0 default parameters).
+type Params struct {
+	// VertexWeightPercentage (node score cutoff): a neighbor u joins a
+	// complex seeded at s when weight(u) > weight(s)·(1−VWP). Default 0.2.
+	VertexWeightPercentage float64
+	// Haircut removes vertices with fewer than 2 connections inside the
+	// complex. Default true (matches MCODE defaults).
+	Haircut bool
+	// MinScore filters reported clusters; the paper analyzed clusters with
+	// score ≥ 3.0 (lower scores "tend to indicate small cliques, or K3").
+	MinScore float64
+	// MinSize filters clusters smaller than this many vertices. Default 4
+	// (a K3 scores exactly 3.0; the paper excludes plain triangles).
+	MinSize int
+	// Fluff optionally expands each complex after the haircut: a neighbor
+	// u of the complex is added when the density of u's closed neighborhood
+	// exceeds FluffDensityThreshold. Fluffed vertices may appear in several
+	// complexes (MCODE's fluff semantics). Off by default, as in the paper.
+	Fluff bool
+	// FluffDensityThreshold defaults to 0.1 when Fluff is set.
+	FluffDensityThreshold float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.VertexWeightPercentage == 0 {
+		p.VertexWeightPercentage = 0.2
+	}
+	if p.MinScore == 0 {
+		p.MinScore = 3.0
+	}
+	if p.MinSize == 0 {
+		p.MinSize = 4
+	}
+	if p.Fluff && p.FluffDensityThreshold == 0 {
+		p.FluffDensityThreshold = 0.1
+	}
+	return p
+}
+
+// DefaultParams returns the paper's MCODE configuration.
+func DefaultParams() Params {
+	return Params{VertexWeightPercentage: 0.2, Haircut: true, MinScore: 3.0, MinSize: 4}
+}
+
+// Cluster is one predicted complex.
+type Cluster struct {
+	ID       int
+	Vertices []int32 // sorted
+	Edges    int
+	Density  float64 // 2E / (V(V-1))
+	Score    float64 // Density × V
+	Seed     int32   // seed vertex the complex grew from
+}
+
+// NodeSet returns the cluster's vertices as a set.
+func (c *Cluster) NodeSet() map[int32]bool {
+	s := make(map[int32]bool, len(c.Vertices))
+	for _, v := range c.Vertices {
+		s[v] = true
+	}
+	return s
+}
+
+// EdgeSet returns the cluster's internal edges as an edge set over g.
+func (c *Cluster) EdgeSet(g *graph.Graph) graph.EdgeSet {
+	in := c.NodeSet()
+	s := graph.NewEdgeSet(c.Edges)
+	for _, u := range c.Vertices {
+		for _, v := range g.Neighbors(u) {
+			if u < v && in[v] {
+				s.Add(u, v)
+			}
+		}
+	}
+	return s
+}
+
+// CoreNumbers returns the k-core number of every vertex (standard peeling
+// in O(n + m)).
+func CoreNumbers(g *graph.Graph) []int {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(int32(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	pos := make([]int, n)
+	vert := make([]int32, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = int32(v)
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+	core := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, u := range g.Neighbors(v) {
+			if deg[u] > deg[v] {
+				du, pu := deg[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+// VertexWeights computes the MCODE weight of every vertex: the core number k
+// of the highest k-core of the vertex's (closed) neighborhood, multiplied by
+// the density of that k-core subgraph. Vertices are independent, so the
+// computation is parallelized over GOMAXPROCS workers (deterministic: each
+// weight depends only on the input graph).
+func VertexWeights(g *graph.Graph) []float64 {
+	n := g.N()
+	w := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for v := int32(k); int(v) < n; v += int32(workers) {
+				w[v] = vertexWeight(g, v)
+			}
+		}(k)
+	}
+	wg.Wait()
+	return w
+}
+
+// vertexWeight computes the MCODE weight of one vertex.
+func vertexWeight(g *graph.Graph, v int32) float64 {
+	nb := g.Neighbors(v)
+	if len(nb) == 0 {
+		return 0
+	}
+	region := make([]int32, 0, len(nb)+1)
+	region = append(region, v)
+	region = append(region, nb...)
+	sub, _ := g.CompactSubgraph(region)
+	cores := CoreNumbers(sub)
+	k := 0
+	for _, c := range cores {
+		if c > k {
+			k = c
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	// Highest k-core subgraph.
+	var keep []int32
+	for lv, c := range cores {
+		if c == k {
+			keep = append(keep, int32(lv))
+		}
+	}
+	coreSub := sub.Subgraph(keep)
+	nn := len(keep)
+	if nn < 2 {
+		return 0
+	}
+	density := 2 * float64(coreSub.M()) / (float64(nn) * float64(nn-1))
+	return float64(k) * density
+}
+
+// FindClusters runs MCODE complex prediction on g and returns clusters
+// passing the score/size filters, highest score first.
+func FindClusters(g *graph.Graph, p Params) []Cluster {
+	p = p.withDefaults()
+	n := g.N()
+	weights := VertexWeights(g)
+
+	// Seeds in decreasing weight order.
+	seeds := make([]int32, n)
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	sort.SliceStable(seeds, func(i, j int) bool {
+		if weights[seeds[i]] != weights[seeds[j]] {
+			return weights[seeds[i]] > weights[seeds[j]]
+		}
+		return seeds[i] < seeds[j]
+	})
+
+	used := make([]bool, n)
+	var clusters []Cluster
+	for _, seed := range seeds {
+		if used[seed] || weights[seed] == 0 {
+			continue
+		}
+		threshold := weights[seed] * (1 - p.VertexWeightPercentage)
+		members := growComplex(g, seed, threshold, weights, used)
+		if p.Haircut {
+			members = haircut(g, members)
+		}
+		if len(members) == 0 {
+			continue
+		}
+		for _, v := range members {
+			used[v] = true
+		}
+		if p.Fluff {
+			// Fluffed vertices are not marked used: they may join several
+			// complexes, as in MCODE.
+			members = fluff(g, members, p.FluffDensityThreshold)
+		}
+		c := scoreCluster(g, members)
+		if len(c.Vertices) >= p.MinSize && c.Score >= p.MinScore {
+			c.Seed = seed
+			c.ID = len(clusters)
+			clusters = append(clusters, c)
+		}
+	}
+	sort.SliceStable(clusters, func(i, j int) bool { return clusters[i].Score > clusters[j].Score })
+	for i := range clusters {
+		clusters[i].ID = i
+	}
+	return clusters
+}
+
+// growComplex BFS-expands from seed, admitting unused vertices whose weight
+// exceeds the threshold.
+func growComplex(g *graph.Graph, seed int32, threshold float64, weights []float64, used []bool) []int32 {
+	inComplex := map[int32]bool{seed: true}
+	queue := []int32{seed}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if used[u] || inComplex[u] {
+				continue
+			}
+			if weights[u] > threshold {
+				inComplex[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	members := make([]int32, 0, len(inComplex))
+	for v := range inComplex {
+		members = append(members, v)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// haircut iteratively removes vertices with fewer than 2 connections inside
+// the complex.
+func haircut(g *graph.Graph, members []int32) []int32 {
+	in := make(map[int32]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	for {
+		removed := false
+		for _, v := range members {
+			if !in[v] {
+				continue
+			}
+			deg := 0
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					deg++
+				}
+			}
+			if deg < 2 {
+				in[v] = false
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := members[:0]
+	for _, v := range members {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fluff adds complex neighbors whose closed-neighborhood density exceeds the
+// threshold. Returns a sorted, deduplicated member list.
+func fluff(g *graph.Graph, members []int32, threshold float64) []int32 {
+	in := make(map[int32]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	out := append([]int32(nil), members...)
+	for _, v := range members {
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				continue
+			}
+			region := make([]int32, 0, g.Degree(u)+1)
+			region = append(region, u)
+			region = append(region, g.Neighbors(u)...)
+			sub, _ := g.CompactSubgraph(region)
+			nn := sub.N()
+			if nn < 2 {
+				continue
+			}
+			density := 2 * float64(sub.M()) / (float64(nn) * float64(nn-1))
+			if density > threshold {
+				in[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func scoreCluster(g *graph.Graph, members []int32) Cluster {
+	in := make(map[int32]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	edges := 0
+	for _, v := range members {
+		for _, u := range g.Neighbors(v) {
+			if v < u && in[u] {
+				edges++
+			}
+		}
+	}
+	c := Cluster{Vertices: members, Edges: edges}
+	nn := len(members)
+	if nn >= 2 {
+		c.Density = 2 * float64(edges) / (float64(nn) * float64(nn-1))
+		c.Score = c.Density * float64(nn)
+	}
+	return c
+}

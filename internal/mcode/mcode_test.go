@@ -1,0 +1,299 @@
+package mcode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsample/internal/graph"
+)
+
+func TestCoreNumbersBasics(t *testing.T) {
+	// K5: all vertices have core 4.
+	for _, c := range CoreNumbers(graph.Complete(5)) {
+		if c != 4 {
+			t.Fatalf("K5 core = %d, want 4", c)
+		}
+	}
+	// Path: interior 1-core... actually all vertices of a path are core 1.
+	for _, c := range CoreNumbers(graph.Path(6)) {
+		if c != 1 {
+			t.Fatalf("path core = %d, want 1", c)
+		}
+	}
+	// Cycle: all core 2.
+	for _, c := range CoreNumbers(graph.Cycle(7)) {
+		if c != 2 {
+			t.Fatalf("cycle core = %d, want 2", c)
+		}
+	}
+	// Isolated vertices are core 0.
+	g := graph.FromEdges(3, nil)
+	for _, c := range CoreNumbers(g) {
+		if c != 0 {
+			t.Fatalf("isolated core = %d", c)
+		}
+	}
+}
+
+func TestCoreNumbersKiteGraph(t *testing.T) {
+	// K4 with a pendant path: K4 vertices core 3, path vertices core 1.
+	b := graph.NewBuilder(6)
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	core := CoreNumbers(b.Build())
+	want := []int{3, 3, 3, 3, 1, 1}
+	for v, w := range want {
+		if core[v] != w {
+			t.Fatalf("core[%d] = %d, want %d (all %v)", v, core[v], w, core)
+		}
+	}
+}
+
+// Property: core numbers never exceed degree and are monotone under the
+// defining property (each vertex has ≥ core(v) neighbors with core ≥ core(v)).
+func TestCoreNumbersQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := graph.Gnm(n, rng.Intn(3*n), seed)
+		core := CoreNumbers(g)
+		for v := int32(0); int(v) < n; v++ {
+			if core[v] > g.Degree(v) {
+				return false
+			}
+			cnt := 0
+			for _, u := range g.Neighbors(v) {
+				if core[u] >= core[v] {
+					cnt++
+				}
+			}
+			if cnt < core[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexWeightsClique(t *testing.T) {
+	// In K5, each vertex's neighborhood (plus itself) is K5: core 4,
+	// density 1 => weight 4.
+	w := VertexWeights(graph.Complete(5))
+	for _, v := range w {
+		if math.Abs(v-4) > 1e-12 {
+			t.Fatalf("K5 weight = %v, want 4", v)
+		}
+	}
+	// Isolated vertex weight 0.
+	w0 := VertexWeights(graph.FromEdges(2, nil))
+	if w0[0] != 0 || w0[1] != 0 {
+		t.Fatal("isolated weight must be 0")
+	}
+}
+
+func TestVertexWeightsDenseBeatsSparse(t *testing.T) {
+	// A clique member must outweigh a path interior vertex.
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	g := b.Build()
+	w := VertexWeights(g)
+	if w[0] <= w[6] {
+		t.Fatalf("clique weight %v not above path weight %v", w[0], w[6])
+	}
+}
+
+func TestFindClustersPlantedClique(t *testing.T) {
+	// A K6 planted in sparse noise must be found as one cluster.
+	pr := graph.PlantedModules(150, 80, graph.ModuleSpec{
+		Count: 1, MinSize: 6, MaxSize: 6, Density: 1, NoiseDeg: 0.5,
+	}, 4)
+	clusters := FindClusters(pr.G, DefaultParams())
+	if len(clusters) == 0 {
+		t.Fatal("no clusters found")
+	}
+	found := clusters[0].NodeSet()
+	hit := 0
+	for _, v := range pr.Modules[0] {
+		if found[v] {
+			hit++
+		}
+	}
+	if hit < 5 {
+		t.Fatalf("top cluster hit only %d/6 planted vertices", hit)
+	}
+	if clusters[0].Score < 3 {
+		t.Fatalf("clique cluster score %v < 3", clusters[0].Score)
+	}
+}
+
+func TestFindClustersMultipleModules(t *testing.T) {
+	pr := graph.PlantedModules(400, 200, graph.ModuleSpec{
+		Count: 5, MinSize: 7, MaxSize: 9, Density: 0.95, NoiseDeg: 0.5,
+	}, 9)
+	clusters := FindClusters(pr.G, DefaultParams())
+	if len(clusters) < 4 {
+		t.Fatalf("found %d clusters, want ≥ 4 of 5 planted", len(clusters))
+	}
+	// Clusters must be disjoint (MCODE marks used vertices).
+	seen := map[int32]bool{}
+	for _, c := range clusters {
+		for _, v := range c.Vertices {
+			if seen[v] {
+				t.Fatal("clusters overlap")
+			}
+			seen[v] = true
+		}
+	}
+	// Sorted by score.
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i].Score > clusters[i-1].Score {
+			t.Fatal("clusters not sorted by score")
+		}
+	}
+}
+
+func TestFindClustersSparseGraphNone(t *testing.T) {
+	// A tree has no dense region: no clusters at default thresholds.
+	if cs := FindClusters(graph.Path(50), DefaultParams()); len(cs) != 0 {
+		t.Fatalf("path produced %d clusters", len(cs))
+	}
+}
+
+func TestFindClustersScoreFilter(t *testing.T) {
+	// A K4 alone: score = 4·1 = 4 ≥ 3 => kept; with MinScore 5 it is dropped.
+	g := graph.Complete(4)
+	if cs := FindClusters(g, Params{MinScore: 3, MinSize: 4}); len(cs) != 1 {
+		t.Fatalf("K4 clusters = %d, want 1", len(cs))
+	}
+	if cs := FindClusters(g, Params{MinScore: 5, MinSize: 4}); len(cs) != 0 {
+		t.Fatalf("K4 with MinScore 5 gave %d clusters", len(cs))
+	}
+}
+
+func TestHaircutRemovesPendants(t *testing.T) {
+	// Triangle with a pendant vertex: haircut strips the pendant.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	members := haircut(g, []int32{0, 1, 2, 3})
+	if len(members) != 3 {
+		t.Fatalf("haircut left %d vertices, want 3", len(members))
+	}
+	for _, v := range members {
+		if v == 3 {
+			t.Fatal("pendant vertex survived haircut")
+		}
+	}
+}
+
+func TestClusterEdgeSetAndScore(t *testing.T) {
+	g := graph.Complete(5)
+	cs := FindClusters(g, DefaultParams())
+	if len(cs) != 1 {
+		t.Fatalf("K5 clusters = %d", len(cs))
+	}
+	c := cs[0]
+	if c.Edges != 10 || math.Abs(c.Density-1) > 1e-12 || math.Abs(c.Score-5) > 1e-12 {
+		t.Fatalf("K5 cluster: edges=%d density=%v score=%v", c.Edges, c.Density, c.Score)
+	}
+	es := c.EdgeSet(g)
+	if es.Len() != 10 {
+		t.Fatalf("edge set len = %d", es.Len())
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.VertexWeightPercentage != 0.2 || !p.Haircut || p.MinScore != 3.0 || p.MinSize != 4 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}
+
+func BenchmarkFindClusters(b *testing.B) {
+	pr := graph.PlantedModules(2000, 1500, graph.ModuleSpec{
+		Count: 20, MinSize: 8, MaxSize: 14, Density: 0.9, NoiseDeg: 1,
+	}, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindClusters(pr.G, DefaultParams())
+	}
+}
+
+func TestFluffExpandsComplex(t *testing.T) {
+	// K5 core with a moderately connected satellite: the satellite has two
+	// edges into the clique (dense closed neighborhood), so fluff adds it
+	// while the default run does not.
+	b := graph.NewBuilder(6)
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	b.AddEdge(5, 0)
+	b.AddEdge(5, 1)
+	g := b.Build()
+
+	plain := FindClusters(g, DefaultParams())
+	if len(plain) != 1 {
+		t.Fatalf("plain clusters = %d", len(plain))
+	}
+	fluffed := FindClusters(g, Params{Fluff: true})
+	if len(fluffed) != 1 {
+		t.Fatalf("fluffed clusters = %d", len(fluffed))
+	}
+	if len(fluffed[0].Vertices) <= len(plain[0].Vertices) {
+		t.Fatalf("fluff did not expand: %d vs %d vertices",
+			len(fluffed[0].Vertices), len(plain[0].Vertices))
+	}
+	has5 := false
+	for _, v := range fluffed[0].Vertices {
+		if v == 5 {
+			has5 = true
+		}
+	}
+	if !has5 {
+		t.Fatal("satellite vertex not fluffed in")
+	}
+}
+
+func TestFluffThresholdDefault(t *testing.T) {
+	p := Params{Fluff: true}.withDefaults()
+	if p.FluffDensityThreshold != 0.1 {
+		t.Fatalf("default fluff threshold = %v", p.FluffDensityThreshold)
+	}
+	// Explicit threshold survives.
+	p = Params{Fluff: true, FluffDensityThreshold: 0.9}.withDefaults()
+	if p.FluffDensityThreshold != 0.9 {
+		t.Fatal("explicit threshold overridden")
+	}
+}
+
+func TestFluffVerySTrictThresholdNoChange(t *testing.T) {
+	g := graph.Complete(5)
+	plain := FindClusters(g, DefaultParams())
+	strict := FindClusters(g, Params{Fluff: true, FluffDensityThreshold: 1.1})
+	if len(plain) != len(strict) || len(plain[0].Vertices) != len(strict[0].Vertices) {
+		t.Fatal("impossible threshold changed the result")
+	}
+}

@@ -1,0 +1,63 @@
+package mpisim
+
+// CostModel translates measured per-rank operation counts and communication
+// volume into modeled cluster execution time (seconds). The constants default
+// to values typical of the 2012-era commodity clusters the paper used
+// (Firefly: AMD dual/quad-core nodes, gigabit-class interconnect) so the
+// regenerated Figure 10 has the paper's shape: compute shrinks ~1/P while the
+// latency term grows with border traffic.
+type CostModel struct {
+	SecondsPerOp   float64 // per elementary graph operation
+	LatencySeconds float64 // per point-to-point message
+	SecondsPerByte float64 // inverse bandwidth
+	SerialSecPerOp float64 // per op of unavoidable serial work (merge/dedup)
+}
+
+// DefaultCostModel mirrors a ~100 Mops/s per-core graph workload with ~50 µs
+// MPI latency and ~100 MB/s effective bandwidth.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SecondsPerOp:   1e-8,
+		LatencySeconds: 50e-6,
+		SecondsPerByte: 1e-8,
+		SerialSecPerOp: 1e-8,
+	}
+}
+
+// RunStats captures everything the model needs from one parallel run.
+type RunStats struct {
+	P         int
+	RankOps   []int64 // per-rank elementary operations (compute)
+	Messages  int64
+	Bytes     int64
+	SerialOps int64 // post-processing done on one processor (dedup, merge)
+}
+
+// MaxRankOps returns the bottleneck rank's operation count.
+func (s *RunStats) MaxRankOps() int64 {
+	var mx int64
+	for _, v := range s.RankOps {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// TotalOps returns the sum of per-rank operations.
+func (s *RunStats) TotalOps() int64 {
+	var t int64
+	for _, v := range s.RankOps {
+		t += v
+	}
+	return t
+}
+
+// Time returns the modeled execution time in seconds:
+// bottleneck compute + message latency + transfer time + serial tail.
+func (m CostModel) Time(s *RunStats) float64 {
+	return float64(s.MaxRankOps())*m.SecondsPerOp +
+		float64(s.Messages)*m.LatencySeconds +
+		float64(s.Bytes)*m.SecondsPerByte +
+		float64(s.SerialOps)*m.SerialSecPerOp
+}

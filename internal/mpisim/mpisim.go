@@ -1,0 +1,116 @@
+// Package mpisim is a small simulated distributed-memory runtime. The paper
+// ran on the Firefly MPI cluster with 1–64 processors; here each rank is a
+// goroutine with point-to-point mailboxes, and all traffic is counted so a
+// latency/bandwidth cost model can translate measured per-rank work into
+// modeled cluster execution time (used to regenerate Figure 10's shape).
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is a tagged payload between ranks.
+type Message struct {
+	From    int
+	Tag     int
+	Payload any
+	Bytes   int // accounted payload size
+}
+
+// Comm is a communicator over P simulated ranks.
+type Comm struct {
+	p     int
+	boxes [][]chan Message // boxes[to][from]
+	bar   *barrier
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewComm creates a communicator for p ranks with buffered mailboxes.
+func NewComm(p int) *Comm {
+	if p < 1 {
+		panic(fmt.Sprintf("mpisim: p = %d", p))
+	}
+	c := &Comm{p: p, bar: newBarrier(p)}
+	c.boxes = make([][]chan Message, p)
+	for to := 0; to < p; to++ {
+		c.boxes[to] = make([]chan Message, p)
+		for from := 0; from < p; from++ {
+			c.boxes[to][from] = make(chan Message, 64)
+		}
+	}
+	return c
+}
+
+// P returns the number of ranks.
+func (c *Comm) P() int { return c.p }
+
+// Send delivers a message from rank `from` to rank `to`. Blocking only when
+// the (buffered) mailbox is full.
+func (c *Comm) Send(from, to, tag int, payload any, size int) {
+	c.msgs.Add(1)
+	c.bytes.Add(int64(size))
+	c.boxes[to][from] <- Message{From: from, Tag: tag, Payload: payload, Bytes: size}
+}
+
+// Recv blocks until a message from rank `from` arrives at rank `to`.
+func (c *Comm) Recv(to, from int) Message {
+	return <-c.boxes[to][from]
+}
+
+// Barrier blocks until all p ranks have called it.
+func (c *Comm) Barrier() { c.bar.wait() }
+
+// Messages returns the total number of point-to-point messages sent.
+func (c *Comm) Messages() int64 { return c.msgs.Load() }
+
+// Bytes returns the total payload bytes sent.
+func (c *Comm) Bytes() int64 { return c.bytes.Load() }
+
+// Run launches fn on every rank concurrently and waits for completion.
+func (c *Comm) Run(fn func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.p)
+	for r := 0; r < c.p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// barrier is a reusable P-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	phase int
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,122 @@
+package mpisim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	c := NewComm(2)
+	c.Run(func(rank int) {
+		if rank == 0 {
+			c.Send(0, 1, 7, "hello", 5)
+		} else {
+			m := c.Recv(1, 0)
+			if m.From != 0 || m.Tag != 7 || m.Payload.(string) != "hello" || m.Bytes != 5 {
+				t.Errorf("bad message: %+v", m)
+			}
+		}
+	})
+	if c.Messages() != 1 || c.Bytes() != 5 {
+		t.Fatalf("counters: msgs=%d bytes=%d", c.Messages(), c.Bytes())
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	c := NewComm(p)
+	var before, after atomic.Int32
+	c.Run(func(rank int) {
+		before.Add(1)
+		c.Barrier()
+		if got := before.Load(); got != p {
+			t.Errorf("rank %d passed barrier with only %d arrivals", rank, got)
+		}
+		after.Add(1)
+	})
+	if after.Load() != p {
+		t.Fatal("not all ranks finished")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const p = 4
+	c := NewComm(p)
+	var phase atomic.Int32
+	c.Run(func(rank int) {
+		for i := 0; i < 10; i++ {
+			c.Barrier()
+			// Every rank must observe the same phase count parity between
+			// barriers; we only check it does not deadlock or panic.
+			phase.Add(1)
+			c.Barrier()
+		}
+	})
+	if phase.Load() != 10*p {
+		t.Fatalf("phase = %d, want %d", phase.Load(), 10*p)
+	}
+}
+
+func TestManyToOne(t *testing.T) {
+	const p = 6
+	c := NewComm(p)
+	var sum atomic.Int64
+	c.Run(func(rank int) {
+		if rank == 0 {
+			for from := 1; from < p; from++ {
+				m := c.Recv(0, from)
+				sum.Add(int64(m.Payload.(int)))
+			}
+		} else {
+			c.Send(rank, 0, 0, rank*10, 8)
+		}
+	})
+	if sum.Load() != 10+20+30+40+50 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if c.Messages() != p-1 {
+		t.Fatalf("messages = %d, want %d", c.Messages(), p-1)
+	}
+}
+
+func TestNewCommPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewComm(0)
+}
+
+func TestCostModelMonotonic(t *testing.T) {
+	m := DefaultCostModel()
+	base := RunStats{P: 4, RankOps: []int64{100, 200, 150, 120}, Messages: 10, Bytes: 1000, SerialOps: 50}
+	t0 := m.Time(&base)
+	if t0 <= 0 {
+		t.Fatal("time must be positive")
+	}
+	moreMsgs := base
+	moreMsgs.Messages = 100
+	if m.Time(&moreMsgs) <= t0 {
+		t.Fatal("more messages must cost more")
+	}
+	moreWork := base
+	moreWork.RankOps = []int64{100, 500, 150, 120}
+	if m.Time(&moreWork) <= t0 {
+		t.Fatal("bigger bottleneck rank must cost more")
+	}
+}
+
+func TestRunStatsAggregates(t *testing.T) {
+	s := RunStats{RankOps: []int64{3, 9, 1}}
+	if s.MaxRankOps() != 9 {
+		t.Fatalf("max = %d", s.MaxRankOps())
+	}
+	if s.TotalOps() != 13 {
+		t.Fatalf("total = %d", s.TotalOps())
+	}
+	empty := RunStats{}
+	if empty.MaxRankOps() != 0 || empty.TotalOps() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}

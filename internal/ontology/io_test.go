@@ -1,0 +1,102 @@
+package ontology
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDAGRoundTrip(t *testing.T) {
+	d := Generate(GenerateSpec{Depth: 6, Branch: 3, Seed: 9})
+	var buf bytes.Buffer
+	if err := WriteDAG(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDAG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumTerms() != d.NumTerms() || d2.MaxDepth() != d.MaxDepth() {
+		t.Fatalf("round trip: %d terms depth %d, want %d terms depth %d",
+			d2.NumTerms(), d2.MaxDepth(), d.NumTerms(), d.MaxDepth())
+	}
+	for tid := 0; tid < d.NumTerms(); tid++ {
+		if d2.Depth(TermID(tid)) != d.Depth(TermID(tid)) {
+			t.Fatalf("depth mismatch at term %d", tid)
+		}
+		if len(d2.Parents(TermID(tid))) != len(d.Parents(TermID(tid))) {
+			t.Fatalf("parent count mismatch at term %d", tid)
+		}
+	}
+}
+
+func TestReadDAGErrors(t *testing.T) {
+	for _, bad := range []string{
+		"id: 0\n",                     // id outside term
+		"[Term]\nid: 1\n",             // first id must be 0
+		"[Term]\nid: x\n",             // bad id
+		"[Term]\nid: 0\nis_a: y\n",    // bad parent
+		"is_a: 0\n",                   // is_a outside term
+		"[Term]\nid: 0\nwhat: ever\n", // unknown line
+		"[Term]\nid: 0\n\n[Term]\nid: 1\nis_a: 5\n", // forward parent
+	} {
+		if _, err := ReadDAG(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("input %q: want error", bad)
+		}
+	}
+}
+
+func TestReadDAGSkipsComments(t *testing.T) {
+	src := "! a comment\n[Term]\nid: 0\n\n[Term]\nid: 1\nis_a: 0\n"
+	d, err := ReadDAG(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTerms() != 2 || d.Depth(1) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	a := NewAnnotations(5)
+	a.Annotate(0, 3)
+	a.Annotate(0, 1)
+	a.Annotate(4, 2)
+	var buf bytes.Buffer
+	if err := WriteAnnotations(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ReadAnnotations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.NumGenes() != 5 {
+		t.Fatalf("genes = %d", a2.NumGenes())
+	}
+	if len(a2.Terms(0)) != 2 || len(a2.Terms(4)) != 1 || len(a2.Terms(2)) != 0 {
+		t.Fatal("terms mismatch after round trip")
+	}
+}
+
+func TestReadAnnotationsWithoutHeader(t *testing.T) {
+	a, err := ReadAnnotations(bytes.NewBufferString("0\t5\n3\t7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGenes() != 4 {
+		t.Fatalf("inferred genes = %d, want 4", a.NumGenes())
+	}
+}
+
+func TestReadAnnotationsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0\n",
+		"x\t1\n",
+		"0\ty\n",
+		"-1\t2\n",
+		"# genes: 2\n5\t1\n",
+	} {
+		if _, err := ReadAnnotations(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("input %q: want error", bad)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sampling
+
+import (
+	"math/rand"
+
+	"parsample/internal/graph"
+	"parsample/internal/mpisim"
+)
+
+// Forest-fire sampling (Leskovec & Faloutsos, KDD'06) is the second agnostic
+// control filter the paper's related-work section cites as "good at
+// extracting samples from large networks". It is implemented here as an
+// extension baseline: fires start at random vertices and spread to a
+// geometrically distributed number of unburned neighbors; traversed edges
+// are selected. The stopping rule matches the random-walk control: the
+// process runs until the number of edge selections is half the edge count.
+
+// forestFire runs fires over an adjacency view until `selections` edges have
+// been selected (repeat selections across fires count, as in the random
+// walk). pf is the forward-burning probability.
+func forestFire(verts []int32, neighbors func(int32) []int32, selections int,
+	pf float64, rng *rand.Rand) (graph.EdgeSet, int64) {
+	set := graph.NewEdgeSet(selections / 2)
+	var ops int64
+	if len(verts) == 0 || selections <= 0 {
+		return set, ops
+	}
+	burnedAt := make(map[int32]int) // vertex -> fire id that burned it
+	fire := 0
+	sel := 0
+	idle := 0
+	for sel < selections {
+		fire++
+		if idle > len(verts) {
+			break // nothing left to burn anywhere
+		}
+		start := verts[rng.Intn(len(verts))]
+		queue := []int32{start}
+		burnedAt[start] = fire
+		burnedAny := false
+		for len(queue) > 0 && sel < selections {
+			v := queue[0]
+			queue = queue[1:]
+			// Geometric(1-pf) burst size: number of neighbors to burn.
+			k := 0
+			for rng.Float64() < pf {
+				k++
+			}
+			nb := neighbors(v)
+			ops += int64(len(nb)) + 1
+			// Burn up to k unburned (this fire) neighbors, chosen randomly.
+			perm := rng.Perm(len(nb))
+			for _, pi := range perm {
+				if k == 0 || sel >= selections {
+					break
+				}
+				u := nb[pi]
+				if burnedAt[u] == fire {
+					continue
+				}
+				burnedAt[u] = fire
+				set.Add(v, u)
+				sel++
+				k--
+				burnedAny = true
+				queue = append(queue, u)
+			}
+		}
+		if burnedAny {
+			idle = 0
+		} else {
+			idle++
+		}
+	}
+	return set, ops
+}
+
+// forestFireSequential applies the forest-fire filter to the whole network.
+func forestFireSequential(g *graph.Graph, opts Options) *Result {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	verts := graph.NaturalOrder(g.N())
+	set, ops := forestFire(verts, g.Neighbors, g.M()/2, defaultForwardProb, rng)
+	res := &Result{Algorithm: ForestFireSeq, Edges: set}
+	res.Stats.P = 1
+	res.Stats.RankOps = []int64{ops}
+	return res
+}
+
+// defaultForwardProb is Leskovec's recommended forward-burning probability.
+const defaultForwardProb = 0.7
+
+// forestFireParallel partitions the network like the other parallel filters:
+// local fires over internal edges, hash-coin admission for border edges
+// (communication-free, like the parallel random walk).
+func forestFireParallel(g *graph.Graph, opts Options) *Result {
+	pt := graph.BlockPartition(opts.Order, opts.P)
+	p := pt.P()
+	internal, border := pt.InternalEdgeCount(g)
+	parts := make([]rankResult, p)
+	comm := mpisim.NewComm(p)
+	comm.Run(func(rank int) {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*104729))
+		block := pt.Parts[rank]
+		nb := func(v int32) []int32 {
+			var out []int32
+			for _, w := range g.Neighbors(v) {
+				if pt.Part[w] == int32(rank) {
+					out = append(out, w)
+				}
+			}
+			return out
+		}
+		set, ops := forestFire(block, nb, internal[rank]/2, defaultForwardProb, rng)
+		for _, a := range block {
+			for _, x := range g.Neighbors(a) {
+				if pt.Part[x] != int32(rank) {
+					ops++
+					if edgeCoin(a, x, opts.Seed) {
+						set.Add(a, x)
+					}
+				}
+			}
+		}
+		parts[rank] = rankResult{edges: set, ops: ops}
+	})
+	return mergeRanks(ForestFirePar, parts, border)
+}

@@ -1,0 +1,117 @@
+package sampling
+
+import (
+	"math/rand"
+
+	"parsample/internal/graph"
+	"parsample/internal/mpisim"
+)
+
+// walkEdges performs the paper's random-walk traversal over an adjacency
+// view: starting from a random vertex, at each step one incident edge of the
+// current vertex is selected with probability 1/d and the walk moves along
+// it; no visited bookkeeping is kept, and the process stops after
+// `selections` edge selections (the paper uses half the edge count, counting
+// repeats). Vertices with no eligible edges cause a uniform restart.
+//
+// neighbors(v) returns the eligible neighbor list of v; verts is the pool of
+// restart vertices.
+func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
+	rng *rand.Rand) (graph.EdgeSet, int64) {
+	set := graph.NewEdgeSet(selections / 2)
+	var ops int64
+	if len(verts) == 0 || selections <= 0 {
+		return set, ops
+	}
+	cur := verts[rng.Intn(len(verts))]
+	failures := 0
+	for sel := 0; sel < selections; sel++ {
+		ops++
+		nb := neighbors(cur)
+		if len(nb) == 0 {
+			// Uniform restart; bail out if the whole view appears edgeless
+			// (every restart in a row failed).
+			failures++
+			if failures > len(verts) {
+				break
+			}
+			cur = verts[rng.Intn(len(verts))]
+			sel-- // restart does not consume a selection
+			continue
+		}
+		failures = 0
+		next := nb[rng.Intn(len(nb))]
+		set.Add(cur, next)
+		cur = next
+	}
+	return set, ops
+}
+
+// randomWalkSequential is the sequential random-walk control filter: the
+// traversal continues until the number of edge selections is half the total
+// number of edges of the network.
+func randomWalkSequential(g *graph.Graph, opts Options) *Result {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	verts := make([]int32, g.N())
+	copy(verts, graph.NaturalOrder(g.N()))
+	set, ops := walkEdges(verts, g.Neighbors, g.M()/2, rng)
+	res := &Result{Algorithm: RandomWalkSeq, Edges: set}
+	res.Stats.P = 1
+	res.Stats.RankOps = []int64{ops}
+	return res
+}
+
+// randomWalkParallel partitions the network like the chordal samplers; each
+// processor walks its internal edges until selections reach half its internal
+// edge count, and every border edge is admitted by an unbiased coin flip.
+// The coin flip is a deterministic hash of the edge and seed, so both sides
+// of a border make the same decision without communicating (the paper's
+// "binary random value"), keeping the filter perfectly scalable.
+func randomWalkParallel(g *graph.Graph, opts Options) *Result {
+	pt := graph.BlockPartition(opts.Order, opts.P)
+	p := pt.P()
+	internal, border := pt.InternalEdgeCount(g)
+	parts := make([]rankResult, p)
+	comm := mpisim.NewComm(p) // Run helper only; zero messages by design
+	comm.Run(func(rank int) {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*7919))
+		block := pt.Parts[rank]
+		// Eligible neighbors: same-partition only.
+		nb := func(v int32) []int32 {
+			var out []int32
+			for _, w := range g.Neighbors(v) {
+				if pt.Part[w] == int32(rank) {
+					out = append(out, w)
+				}
+			}
+			return out
+		}
+		set, ops := walkEdges(block, nb, internal[rank]/2, rng)
+		// Border edges incident on this partition: coin-flip admission.
+		for _, a := range block {
+			for _, x := range g.Neighbors(a) {
+				if pt.Part[x] != int32(rank) {
+					ops++
+					if edgeCoin(a, x, opts.Seed) {
+						set.Add(a, x)
+					}
+				}
+			}
+		}
+		parts[rank] = rankResult{edges: set, ops: ops}
+	})
+	res := mergeRanks(RandomWalkPar, parts, border)
+	return res
+}
+
+// edgeCoin is a deterministic fair coin on a normalized edge.
+func edgeCoin(u, v int32, seed int64) bool {
+	k := graph.EdgeKey(u, v) ^ uint64(seed)*0x9e3779b97f4a7c15
+	// SplitMix64 finalizer.
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k&1 == 1
+}

@@ -1,0 +1,160 @@
+// Package sampling implements the paper's network sampling filters:
+//
+//   - sequential maximal chordal subgraph extraction (Section III.A),
+//   - the earlier parallel chordal sampler WITH border-edge communication
+//     (sender/receiver exchange, quasi-chordal output),
+//   - the paper's improved COMMUNICATION-FREE parallel chordal sampler
+//     (border edges admitted only when they close a triangle with a local
+//     chordal edge),
+//   - sequential and parallel random-walk sampling as the control filter.
+//
+// All parallel variants partition the vertex processing order into P
+// contiguous blocks (one per simulated processor) and report per-rank
+// operation counts plus communication volume, which internal/mpisim turns
+// into modeled cluster execution times for the scalability study (Fig. 10).
+package sampling
+
+import (
+	"fmt"
+
+	"parsample/internal/graph"
+	"parsample/internal/mpisim"
+)
+
+// Algorithm identifies a sampling filter.
+type Algorithm int
+
+const (
+	// ChordalSeq is the sequential Dearing–Shier–Warner maximal chordal
+	// subgraph filter.
+	ChordalSeq Algorithm = iota
+	// ChordalComm is the earlier parallel chordal filter that exchanges
+	// border edges between processor pairs (sender → receiver) and lets the
+	// receiver retain the ones that keep its subgraph chordal.
+	ChordalComm
+	// ChordalNoComm is the paper's improved communication-free parallel
+	// chordal filter: a pair of border edges sharing an external endpoint is
+	// admitted iff the local edge closing the triangle is a chordal edge.
+	ChordalNoComm
+	// RandomWalkSeq is the sequential random-walk control filter.
+	RandomWalkSeq
+	// RandomWalkPar is the parallel random-walk control filter with
+	// coin-flip border-edge admission.
+	RandomWalkPar
+	// ForestFireSeq is the sequential forest-fire control filter (Leskovec &
+	// Faloutsos), an extension baseline beyond the paper's random walk.
+	ForestFireSeq
+	// ForestFirePar is the parallel forest-fire control filter.
+	ForestFirePar
+)
+
+// String returns the name used in reports and figures.
+func (a Algorithm) String() string {
+	switch a {
+	case ChordalSeq:
+		return "chordal-seq"
+	case ChordalComm:
+		return "chordal-comm"
+	case ChordalNoComm:
+		return "chordal-nocomm"
+	case RandomWalkSeq:
+		return "randomwalk-seq"
+	case RandomWalkPar:
+		return "randomwalk-par"
+	case ForestFireSeq:
+		return "forestfire-seq"
+	case ForestFirePar:
+		return "forestfire-par"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures a sampling run.
+type Options struct {
+	// Order is the vertex processing order (a permutation of 0..N-1). If
+	// nil, the natural order is used.
+	Order []int32
+	// P is the number of simulated processors for parallel algorithms
+	// (default 1).
+	P int
+	// Seed drives the random-walk filters.
+	Seed int64
+}
+
+// Result is the output of a sampling run.
+type Result struct {
+	// Algorithm that produced the result.
+	Algorithm Algorithm
+	// Edges of the sampled (filtered) subgraph, duplicates removed.
+	Edges graph.EdgeSet
+	// Stats feeds the mpisim cost model (per-rank ops, message/byte counts,
+	// serial post-processing ops).
+	Stats mpisim.RunStats
+	// DuplicateBorderEdges counts border edges independently admitted by
+	// more than one processor (removed during the sequential merge, as in
+	// the paper).
+	DuplicateBorderEdges int
+	// BorderEdges is the number of cross-partition edges in the input.
+	BorderEdges int
+}
+
+// Graph materializes the sampled subgraph over n vertices.
+func (r *Result) Graph(n int) *graph.Graph { return r.Edges.Graph(n) }
+
+// Run applies the given filter to g.
+func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
+	if opts.Order == nil {
+		opts.Order = graph.NaturalOrder(g.N())
+	}
+	if !graph.IsPermutation(opts.Order, g.N()) {
+		return nil, fmt.Errorf("sampling: order is not a permutation of 0..%d", g.N()-1)
+	}
+	if opts.P < 1 {
+		opts.P = 1
+	}
+	switch alg {
+	case ChordalSeq:
+		return chordalSequential(g, opts), nil
+	case ChordalComm:
+		return chordalWithComm(g, opts), nil
+	case ChordalNoComm:
+		return chordalNoComm(g, opts), nil
+	case RandomWalkSeq:
+		return randomWalkSequential(g, opts), nil
+	case RandomWalkPar:
+		return randomWalkParallel(g, opts), nil
+	case ForestFireSeq:
+		return forestFireSequential(g, opts), nil
+	case ForestFirePar:
+		return forestFireParallel(g, opts), nil
+	}
+	return nil, fmt.Errorf("sampling: unknown algorithm %d", int(alg))
+}
+
+// rankResult is a per-processor partial result.
+type rankResult struct {
+	edges graph.EdgeSet
+	ops   int64
+}
+
+// mergeRanks unions per-rank edge sets sequentially (the paper notes the
+// duplicate removal is done during the sequential analysis phase) and counts
+// duplicates.
+func mergeRanks(alg Algorithm, parts []rankResult, border int) *Result {
+	res := &Result{
+		Algorithm:   alg,
+		Edges:       graph.NewEdgeSet(0),
+		BorderEdges: border,
+	}
+	res.Stats.P = len(parts)
+	res.Stats.RankOps = make([]int64, len(parts))
+	total := 0
+	for r, pr := range parts {
+		res.Stats.RankOps[r] = pr.ops
+		total += pr.edges.Len()
+		res.Edges.AddSet(pr.edges)
+	}
+	res.DuplicateBorderEdges = total - res.Edges.Len()
+	res.Stats.SerialOps = int64(total)
+	return res
+}

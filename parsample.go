@@ -1,0 +1,153 @@
+// Package parsample is the public facade of the parallel adaptive sampling
+// library, a reproduction of Cooper (Dempsey), Duraisamy, Bhowmick & Ali,
+// "The Development of Parallel Adaptive Sampling Algorithms for Analyzing
+// Biological Networks" (IPDPS Workshops 2012).
+//
+// The pipeline mirrors the paper:
+//
+//	expression matrix ─Pearson→ correlation network ─order→ chordal filter
+//	  ─MCODE→ clusters ─GO edge enrichment→ AEES scores ─overlap→ validation
+//
+// Quick use:
+//
+//	g, _ := parsample.ReadNetwork(f)
+//	filtered, _ := parsample.Filter(g, parsample.FilterOptions{
+//	        Algorithm: parsample.ChordalNoComm,
+//	        Ordering:  parsample.HighDegree,
+//	        P:         8,
+//	})
+//	clusters := parsample.Clusters(filtered.Graph(g.N()))
+//
+// See the examples/ directory for full end-to-end programs and
+// internal/experiments for the drivers that regenerate every figure of the
+// paper's evaluation.
+package parsample
+
+import (
+	"io"
+
+	"parsample/internal/analysis"
+	"parsample/internal/chordal"
+	"parsample/internal/expr"
+	"parsample/internal/graph"
+	"parsample/internal/mcode"
+	"parsample/internal/ontology"
+	"parsample/internal/sampling"
+)
+
+// Re-exported core types. (Aliases keep one set of concrete types across the
+// library; the canonical definitions live in the internal packages.)
+type (
+	// Graph is a simple undirected network over dense int32 vertex ids.
+	Graph = graph.Graph
+	// Edge is a normalized undirected edge (U < V).
+	Edge = graph.Edge
+	// EdgeSet is a set of undirected edges.
+	EdgeSet = graph.EdgeSet
+	// Ordering selects a vertex processing order (Natural, HighDegree,
+	// LowDegree, RCM, RandomOrder).
+	Ordering = graph.Ordering
+	// Algorithm selects a sampling filter.
+	Algorithm = sampling.Algorithm
+	// Result is the output of a sampling run, including parallel telemetry.
+	Result = sampling.Result
+	// Cluster is one MCODE complex.
+	Cluster = mcode.Cluster
+	// ScoredCluster couples a cluster with its GO edge-enrichment summary.
+	ScoredCluster = analysis.ScoredCluster
+	// Matrix is a genes × samples expression matrix.
+	Matrix = expr.Matrix
+	// DAG is a GO-like ontology.
+	DAG = ontology.DAG
+	// Annotations maps genes to ontology terms.
+	Annotations = ontology.Annotations
+)
+
+// Orderings studied in the paper.
+const (
+	Natural     = graph.Natural
+	HighDegree  = graph.HighDegree
+	LowDegree   = graph.LowDegree
+	RCM         = graph.RCM
+	RandomOrder = graph.RandomOrder
+)
+
+// Sampling algorithms.
+const (
+	// ChordalSeq is the sequential maximal chordal subgraph filter
+	// (Dearing–Shier–Warner).
+	ChordalSeq = sampling.ChordalSeq
+	// ChordalComm is the earlier parallel chordal filter with border-edge
+	// communication.
+	ChordalComm = sampling.ChordalComm
+	// ChordalNoComm is the paper's improved communication-free parallel
+	// chordal filter.
+	ChordalNoComm = sampling.ChordalNoComm
+	// RandomWalkSeq is the sequential random-walk control filter.
+	RandomWalkSeq = sampling.RandomWalkSeq
+	// RandomWalkPar is the parallel random-walk control filter.
+	RandomWalkPar = sampling.RandomWalkPar
+)
+
+// FilterOptions configures Filter.
+type FilterOptions struct {
+	// Algorithm selects the filter (default ChordalNoComm).
+	Algorithm Algorithm
+	// Ordering selects the vertex processing order (default Natural).
+	Ordering Ordering
+	// P is the number of simulated processors (default 1).
+	P int
+	// Seed drives randomized filters and RandomOrder.
+	Seed int64
+}
+
+// Filter applies a sampling filter to the network.
+func Filter(g *Graph, opts FilterOptions) (*Result, error) {
+	ord := graph.Order(g, opts.Ordering, opts.Seed)
+	return sampling.Run(opts.Algorithm, g, sampling.Options{
+		Order: ord,
+		P:     opts.P,
+		Seed:  opts.Seed,
+	})
+}
+
+// MaximalChordalSubgraph extracts a maximal chordal subgraph of g under the
+// given ordering and returns it as a graph.
+func MaximalChordalSubgraph(g *Graph, o Ordering, seed int64) *Graph {
+	res := chordal.MaximalSubgraph(g, graph.Order(g, o, seed))
+	return res.Edges.Graph(g.N())
+}
+
+// IsChordal reports whether g is a chordal graph.
+func IsChordal(g *Graph) bool { return chordal.IsChordal(g) }
+
+// Clusters runs MCODE with the paper's default parameters (score ≥ 3.0).
+func Clusters(g *Graph) []Cluster {
+	return mcode.FindClusters(g, mcode.DefaultParams())
+}
+
+// ClustersWithParams runs MCODE with explicit parameters.
+func ClustersWithParams(g *Graph, p mcode.Params) []Cluster {
+	return mcode.FindClusters(g, p)
+}
+
+// ScoreClusters annotates clusters against an ontology, producing AEES
+// scores (edge enrichment: DCP depth − term breadth, averaged over cluster
+// edges).
+func ScoreClusters(d *DAG, a *Annotations, g *Graph, clusters []Cluster) []ScoredCluster {
+	return analysis.ScoreClusters(d, a, g, clusters)
+}
+
+// BuildCorrelationNetwork computes all-pairs Pearson correlations of the
+// expression matrix in parallel and thresholds them (paper defaults:
+// ρ ≥ 0.95, p ≤ 0.0005) into a network.
+func BuildCorrelationNetwork(m *Matrix, opts expr.NetworkOptions) *Graph {
+	return expr.BuildNetwork(m, opts)
+}
+
+// ReadNetwork parses a whitespace edge list (one "u v" pair per line, '#'
+// comments, optional "# n m" header).
+func ReadNetwork(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteNetwork writes g in the edge-list format accepted by ReadNetwork.
+func WriteNetwork(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }

@@ -1,0 +1,90 @@
+package parsample
+
+import (
+	"bytes"
+	"testing"
+
+	"parsample/internal/expr"
+	"parsample/internal/graph"
+	"parsample/internal/mcode"
+	"parsample/internal/ontology"
+)
+
+func TestFacadeFilterAndClusters(t *testing.T) {
+	pr := graph.PlantedModules(400, 300, graph.ModuleSpec{
+		Count: 5, MinSize: 6, MaxSize: 8, Density: 0.8, NoiseDeg: 0.5, Window: 3,
+	}, 11)
+	res, err := Filter(pr.G, FilterOptions{Algorithm: ChordalNoComm, Ordering: HighDegree, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := res.Graph(pr.G.N())
+	if fg.M() == 0 || fg.M() > pr.G.M() {
+		t.Fatalf("filtered edges = %d of %d", fg.M(), pr.G.M())
+	}
+	clusters := Clusters(fg)
+	if len(clusters) == 0 {
+		t.Fatal("no clusters after filtering planted modules")
+	}
+}
+
+func TestFacadeChordalHelpers(t *testing.T) {
+	g := graph.Cycle(9)
+	sub := MaximalChordalSubgraph(g, Natural, 0)
+	if !IsChordal(sub) {
+		t.Fatal("maximal chordal subgraph is not chordal")
+	}
+	if IsChordal(g) {
+		t.Fatal("C9 misclassified as chordal")
+	}
+	if sub.M() != 8 {
+		t.Fatalf("C9 chordal subgraph edges = %d, want 8", sub.M())
+	}
+}
+
+func TestFacadeNetworkIO(t *testing.T) {
+	g := graph.Gnm(30, 60, 1)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("network IO round trip failed")
+	}
+}
+
+func TestFacadeEndToEndPipeline(t *testing.T) {
+	// Microarray → correlation network → filter → clusters → AEES.
+	syn, err := expr.Synthesize(expr.SyntheticSpec{
+		Genes: 150, Samples: 30, Modules: 3, ModuleSize: 8, Noise: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := BuildCorrelationNetwork(syn.M, expr.NetworkOptions{})
+	res, err := Filter(net, FilterOptions{Algorithm: ChordalSeq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := res.Graph(net.N())
+	clusters := ClustersWithParams(fg, mcode.Params{MinScore: 3, MinSize: 4})
+	if len(clusters) == 0 {
+		t.Fatal("pipeline found no clusters")
+	}
+	dag := ontology.Generate(ontology.GenerateSpec{Depth: 8, Branch: 3, Seed: 2})
+	ann := ontology.AnnotateModules(dag, 150, syn.Modules, 6, 3)
+	scored := ScoreClusters(dag, ann, fg, clusters)
+	foundRelevant := false
+	for _, sc := range scored {
+		if sc.Score.AEES >= 3 {
+			foundRelevant = true
+		}
+	}
+	if !foundRelevant {
+		t.Fatal("no biologically relevant cluster in end-to-end pipeline")
+	}
+}
