@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"testing"
 
+	"parsample/internal/chordal"
 	"parsample/internal/datasets"
 	"parsample/internal/experiments"
 	"parsample/internal/graph"
+	"parsample/internal/mcode"
 	"parsample/internal/sampling"
 )
 
@@ -191,6 +193,120 @@ func BenchmarkAblationBorderRule(b *testing.B) {
 		if _, err := experiments.BorderRuleAblation(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ------------------------------------------------- substrate micro-benchmarks
+//
+// These track the CSR/bitset core across PRs (BENCH_*.json): adjacency
+// probes, bitset intersection, and the DSW + MCODE kernels on the two
+// generator families (Erdős–Rényi via Gnm, power-law via RMAT).
+
+// benchGraphs returns the generator graphs the substrate benchmarks run on.
+func benchGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ER":   graph.Gnm(8192, 65536, 1),
+		"RMAT": graph.RMAT(13, 8, 0, 0, 0, 2),
+	}
+}
+
+// BenchmarkHasEdge measures adjacency probes on the CSR rows (binary/linear
+// search) and on the dense bitset rows, over a fixed random query mix.
+func BenchmarkHasEdge(b *testing.B) {
+	for name, g := range benchGraphs() {
+		n := int32(g.N())
+		queries := make([][2]int32, 4096)
+		rngState := uint64(12345)
+		next := func() int32 {
+			rngState = rngState*6364136223846793005 + 1442695040888963407
+			return int32((rngState >> 33) % uint64(n))
+		}
+		for i := range queries {
+			u, v := next(), next()
+			if u == v {
+				v = (v + 1) % n
+			}
+			queries[i] = [2]int32{u, v}
+		}
+		b.Run(name+"/csr", func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if g.HasEdgeFast(q[0], q[1]) {
+					hits++
+				}
+			}
+			_ = hits
+		})
+		g.EnsureDense()
+		b.Run(name+"/dense", func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if g.HasEdgeFast(q[0], q[1]) {
+					hits++
+				}
+			}
+			_ = hits
+		})
+	}
+}
+
+// BenchmarkBitsetIntersect measures the word-parallel intersection popcount
+// used by the clique checks (8192-bit universes, one-third occupancy).
+func BenchmarkBitsetIntersect(b *testing.B) {
+	x := graph.NewBitset(8192)
+	y := graph.NewBitset(8192)
+	for i := int32(0); i < 8192; i += 3 {
+		x.Set(i)
+	}
+	for i := int32(0); i < 8192; i += 5 {
+		y.Set(i)
+	}
+	b.Run("AndCount", func(b *testing.B) {
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += x.AndCount(y)
+		}
+		_ = total
+	})
+	b.Run("SubsetOf", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if x.SubsetOf(y) {
+				hits++
+			}
+		}
+		_ = hits
+	})
+}
+
+// BenchmarkChordalMaximalSubgraph times the DSW kernel on the generator
+// graphs — the acceptance metric for the CSR/bitset refactor.
+func BenchmarkChordalMaximalSubgraph(b *testing.B) {
+	for name, g := range benchGraphs() {
+		ord := graph.Order(g, graph.Natural, 0)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := chordal.MaximalSubgraph(g, ord); res.Edges.Len() == 0 {
+					b.Fatal("empty chordal subgraph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCODEClusters times MCODE complex prediction on the generator
+// graphs (vertex weighting dominates).
+func BenchmarkMCODEClusters(b *testing.B) {
+	for name, g := range benchGraphs() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mcode.FindClusters(g, mcode.DefaultParams())
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module parsample
+
+go 1.24

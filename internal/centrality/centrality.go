@@ -41,6 +41,7 @@ func Closeness(g *graph.Graph) []float64 {
 		return out
 	}
 	denom := float64(n - 1)
+	off, nbr := g.CSR()
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -62,7 +63,7 @@ func Closeness(g *graph.Graph) []float64 {
 					if dist[x] > 0 {
 						sum += 1 / float64(dist[x])
 					}
-					for _, y := range g.Neighbors(x) {
+					for _, y := range nbr[off[x]:off[x+1]] {
 						if dist[y] < 0 {
 							dist[y] = dist[x] + 1
 							queue = append(queue, y)
@@ -87,6 +88,7 @@ func Betweenness(g *graph.Graph) []float64 {
 	if n < 3 {
 		return out
 	}
+	off, nbr := g.CSR()
 	workers := runtime.GOMAXPROCS(0)
 	partial := make([][]float64, workers)
 	var wg sync.WaitGroup
@@ -121,7 +123,7 @@ func Betweenness(g *graph.Graph) []float64 {
 					v := queue[0]
 					queue = queue[1:]
 					stack = append(stack, v)
-					for _, u := range g.Neighbors(v) {
+					for _, u := range nbr[off[v]:off[v+1]] {
 						if dist[u] < 0 {
 							dist[u] = dist[v] + 1
 							queue = append(queue, u)

@@ -6,14 +6,16 @@
 package chordal
 
 import (
-	"container/heap"
-
 	"parsample/internal/graph"
 )
 
 // Result is the output of a maximal chordal subgraph extraction.
 type Result struct {
-	Edges graph.EdgeSet // edges of the chordal subgraph
+	// Edges of the chordal subgraph. DSW commits every edge exactly once
+	// (v—w is emitted when v is visited with w ∈ B(v)), so the output is a
+	// duplicate-free flat list — no hash set is materialized anywhere in
+	// the extraction.
+	Edges graph.EdgeList
 	// VisitOrder is the order in which the algorithm committed vertices; its
 	// reverse is a perfect elimination ordering of the subgraph.
 	VisitOrder []int32
@@ -22,26 +24,102 @@ type Result struct {
 	Ops int64
 }
 
-// item is a heap entry for the next-vertex selection: largest candidate set
-// first, ties broken by position in the requested processing order.
-type item struct {
-	v    int32
-	size int32 // |B(v)| at push time (lazy; stale entries are skipped)
-	pos  int32 // position of v in the processing order
+// vertexHeap selects the next vertex to commit: largest candidate set
+// first, ties broken by position in the requested processing order. It is
+// an indexed binary heap — every vertex appears exactly once and a
+// candidate-set grow is an increase-key sift-up — so there are no stale
+// entries to skip and no interface boxing (container/heap would box every
+// push, and a lazy heap pushes O(E) entries; this one holds at most n).
+type vertexHeap struct {
+	verts []int32 // heap array of vertex ids
+	loc   []int32 // loc[v] = index of v in verts; -1 once popped
+	size  []int32 // |B(v)|, shared with the kernel
+	pos   []int32 // position of v in the processing order
 }
 
-type prioQueue []item
-
-func (q prioQueue) Len() int { return len(q) }
-func (q prioQueue) Less(i, j int) bool {
-	if q[i].size != q[j].size {
-		return q[i].size > q[j].size
+// newVertexHeap builds the initial heap. All candidate sets are empty and
+// order is sorted by pos, so the array is already heap-ordered.
+func newVertexHeap(order, pos, size []int32) *vertexHeap {
+	verts := make([]int32, len(order))
+	copy(verts, order)
+	loc := make([]int32, len(order))
+	for i, v := range verts {
+		loc[v] = int32(i)
 	}
-	return q[i].pos < q[j].pos
+	return &vertexHeap{verts: verts, loc: loc, size: size, pos: pos}
 }
-func (q prioQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *prioQueue) Push(x any)   { *q = append(*q, x.(item)) }
-func (q *prioQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+func (h *vertexHeap) before(a, b int32) bool {
+	if h.size[a] != h.size[b] {
+		return h.size[a] > h.size[b]
+	}
+	return h.pos[a] < h.pos[b]
+}
+
+func (h *vertexHeap) empty() bool { return len(h.verts) == 0 }
+
+// pop removes and returns the top-priority vertex.
+func (h *vertexHeap) pop() int32 {
+	top := h.verts[0]
+	h.loc[top] = -1
+	last := len(h.verts) - 1
+	if last > 0 {
+		v := h.verts[last]
+		h.verts[0] = v
+		h.loc[v] = 0
+	}
+	h.verts = h.verts[:last]
+	// Sift down.
+	n := len(h.verts)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h.verts[l], h.verts[best]) {
+			best = l
+		}
+		if r < n && h.before(h.verts[r], h.verts[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.verts[i], h.verts[best] = h.verts[best], h.verts[i]
+		h.loc[h.verts[i]] = int32(i)
+		h.loc[h.verts[best]] = int32(best)
+		i = best
+	}
+	return top
+}
+
+// grew restores the heap invariant after size[v] increased (sift-up).
+func (h *vertexHeap) grew(v int32) {
+	i := int(h.loc[v])
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.verts[i], h.verts[parent]) {
+			break
+		}
+		h.verts[i], h.verts[parent] = h.verts[parent], h.verts[i]
+		h.loc[h.verts[i]] = int32(i)
+		h.loc[h.verts[parent]] = int32(parent)
+		i = parent
+	}
+}
+
+// denseBLimit bounds the vertex count for the bitset candidate-set path.
+// Every non-isolated vertex eventually carries a candidate bitset of n/8
+// bytes, so at 16384 vertices the worst case is 32 MiB; beyond that the
+// mark-array path wins on memory and cache behavior.
+const denseBLimit = 1 << 14
+
+// denseBDegree is the mean-degree threshold for the bitset path. The
+// word-parallel subset sweep costs n/64 words regardless of |B(x)|, while
+// the mark-array probe costs |B(x)| ≤ deg(x); bitsets only pay off once
+// candidate sets are large, i.e. on dense graphs. Correlation networks
+// at the paper's thresholds sit far below this, so they take the
+// mark-array path.
+const denseBDegree = 96
 
 // MaximalSubgraph extracts a maximal chordal subgraph of g using the
 // Dearing–Shier–Warner traversal, O(E·d) for maximum degree d.
@@ -54,20 +132,81 @@ func (q *prioQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q
 // committed vertex v, B(x) grows by v whenever B(x) ⊆ B(v) — which preserves
 // the clique invariant since B(v) ∪ {v} is a clique.
 //
+// On vertex universes up to denseBLimit the candidate sets are Bitsets and
+// the subset test is a word-parallel B(x) &^ B(v) == 0 sweep; larger graphs
+// fall back to sorted member slices with a stamped mark array. Neither path
+// touches a hash map.
+//
 // order must be a permutation of 0..g.N()-1; it supplies both the starting
 // bias and tie-breaking, which is how the paper's Natural / HighDegree /
 // LowDegree / RCM perturbations enter the algorithm.
 func MaximalSubgraph(g *graph.Graph, order []int32) *Result {
 	n := g.N()
-	res := &Result{
-		Edges:      graph.NewEdgeSet(g.M()),
-		VisitOrder: make([]int32, 0, n),
-	}
+	res := &Result{VisitOrder: make([]int32, 0, n)}
 	if n == 0 {
 		return res
 	}
+	res.Edges = make(graph.EdgeList, 0, g.M()/2)
 	pos := graph.InversePerm(order)
+	bsize := make([]int32, n) // |B(v)|, shared with the heap
+	q := newVertexHeap(order, pos, bsize)
+	if n <= denseBLimit && 2*g.M() >= n*denseBDegree {
+		maximalDense(g, q, bsize, res)
+	} else {
+		maximalSparse(g, q, bsize, res)
+	}
+	return res
+}
 
+// maximalDense runs the DSW loop with bitset candidate sets.
+func maximalDense(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
+	n := g.N()
+	visited := graph.NewBitset(n)
+	b := make([]graph.Bitset, n) // candidate sets, allocated on first grow
+
+	for !q.empty() {
+		v := q.pop()
+		visited.Set(v)
+		res.VisitOrder = append(res.VisitOrder, v)
+
+		bv := b[v]
+		// Commit edges v—w for all w ∈ B(v).
+		if bv != nil && bsize[v] > 0 {
+			bv.ForEach(func(w int32) {
+				res.Edges = append(res.Edges, graph.NormEdge(v, w))
+			})
+		}
+
+		for _, x := range g.Neighbors(v) {
+			if visited.Has(x) {
+				continue
+			}
+			res.Ops++
+			// B(x) ⊆ B(v)? Word-parallel subset sweep; the size guard
+			// rejects most failures without touching words.
+			if bsize[x] > bsize[v] {
+				continue
+			}
+			res.Ops += int64(bsize[x])
+			if bsize[x] > 0 && !b[x].SubsetOf(bv) {
+				continue
+			}
+			if b[x] == nil {
+				b[x] = graph.NewBitset(n)
+			}
+			b[x].Set(v)
+			bsize[x]++
+			q.grew(x)
+		}
+		b[v] = nil // release; v is committed
+	}
+}
+
+// maximalSparse runs the DSW loop with member slices and a stamped mark
+// array — subset tests cost O(|B(x)|) probes, which beats the word sweep on
+// sparse networks where candidate sets stay tiny. No hash maps anywhere.
+func maximalSparse(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
+	n := g.N()
 	visited := make([]bool, n)
 	b := make([][]int32, n) // candidate sets
 	// Timestamped membership marks for O(|B(u)|) subset tests.
@@ -76,29 +215,15 @@ func MaximalSubgraph(g *graph.Graph, order []int32) *Result {
 		mark[i] = -1
 	}
 
-	q := make(prioQueue, 0, n)
-	for _, v := range order {
-		q = append(q, item{v: v, size: 0, pos: pos[v]})
-	}
-	heap.Init(&q)
-
 	stamp := int32(0)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(item)
-		v := it.v
-		if visited[v] || int32(len(b[v])) != it.size {
-			continue // stale entry
-		}
+	for !q.empty() {
+		v := q.pop()
 		visited[v] = true
 		res.VisitOrder = append(res.VisitOrder, v)
 
-		// Commit edges v—w for all w ∈ B(v).
+		// Commit edges v—w for all w ∈ B(v), marking B(v) for subset tests.
 		for _, w := range b[v] {
-			res.Edges.Add(v, w)
-		}
-
-		// Mark B(v) for subset tests.
-		for _, w := range b[v] {
+			res.Edges = append(res.Edges, graph.NormEdge(v, w))
 			mark[w] = stamp
 		}
 		bvLen := len(b[v])
@@ -121,14 +246,14 @@ func MaximalSubgraph(g *graph.Graph, order []int32) *Result {
 			res.Ops++
 			if ok {
 				b[x] = append(b[x], v)
-				heap.Push(&q, item{v: x, size: int32(len(b[x])), pos: pos[x]})
+				bsize[x]++
+				q.grew(x)
 			}
 		}
 		stamp++
 		b[v] = nil
 	}
-	return res
 }
 
-// SubgraphGraph materializes the chordal subgraph over g.N() vertices.
+// SubgraphGraph materializes the chordal subgraph over n vertices.
 func (r *Result) SubgraphGraph(n int) *graph.Graph { return r.Edges.Graph(n) }

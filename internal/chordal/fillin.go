@@ -14,43 +14,100 @@ import (
 // Note this is an upper bound relative to the MCS order, not the (NP-hard)
 // minimum fill-in; as a comparative diagnostic between two samplers on the
 // same graph it is what we need.
+//
+// The elimination game needs dynamic adjacency (fill edges accumulate). On
+// vertex universes up to denseBLimit it is played on lazily allocated
+// bitset rows, so the inner clique-completion loop is bit probes and sets;
+// larger universes fall back to degree-sized hash rows, keeping memory
+// O(M + fill) instead of O(n²/8).
 func FillInCount(g *graph.Graph) int {
 	n := g.N()
 	if n == 0 {
 		return 0
 	}
 	order := MCSOrder(g)
-	pos := graph.InversePerm(order)
 	// Eliminate in reverse MCS order: process vertices by ascending pos in
 	// the elimination ordering = reverse of MCS visit order.
 	elim := reversed(order)
-
-	// Working adjacency as sets for dynamic fill edges.
-	adj := make([]map[int32]struct{}, n)
-	for v := int32(0); int(v) < n; v++ {
-		adj[v] = make(map[int32]struct{}, g.Degree(v))
-		for _, w := range g.Neighbors(v) {
-			adj[v][w] = struct{}{}
-		}
+	if n <= denseBLimit {
+		return fillInDense(g, elim)
 	}
-	eliminated := make([]bool, n)
-	_ = pos
+	return fillInSparse(g, elim)
+}
+
+// fillInDense plays the elimination game on lazily allocated bitset rows.
+func fillInDense(g *graph.Graph, elim []int32) int {
+	n := g.N()
+	// Working adjacency rows; row v is materialized on first use.
+	adj := make([]graph.Bitset, n)
+	row := func(v int32) graph.Bitset {
+		if adj[v] == nil {
+			adj[v] = graph.NewBitset(n)
+			for _, w := range g.Neighbors(v) {
+				adj[v].Set(w)
+			}
+		}
+		return adj[v]
+	}
+	eliminated := graph.NewBitset(n)
 	fill := 0
+	var nb []int32
 	for _, v := range elim {
 		// Higher (not yet eliminated) neighbors of v must form a clique;
 		// count and add the missing edges.
-		var nb []int32
-		for w := range adj[v] {
+		nb = nb[:0]
+		row(v).ForEach(func(w int32) {
+			if !eliminated.Has(w) {
+				nb = append(nb, w)
+			}
+		})
+		for i := 0; i < len(nb); i++ {
+			ra := row(nb[i])
+			for j := i + 1; j < len(nb); j++ {
+				b := nb[j]
+				if !ra.Has(b) {
+					ra.Set(b)
+					row(b).Set(nb[i])
+					fill++
+				}
+			}
+		}
+		eliminated.Set(v)
+	}
+	return fill
+}
+
+// fillInSparse plays the elimination game on degree-sized hash rows — the
+// large-universe fallback, O(M + fill) memory.
+func fillInSparse(g *graph.Graph, elim []int32) int {
+	n := g.N()
+	adj := make([]map[int32]struct{}, n)
+	row := func(v int32) map[int32]struct{} {
+		if adj[v] == nil {
+			adj[v] = make(map[int32]struct{}, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				adj[v][w] = struct{}{}
+			}
+		}
+		return adj[v]
+	}
+	eliminated := make([]bool, n)
+	fill := 0
+	var nb []int32
+	for _, v := range elim {
+		nb = nb[:0]
+		for w := range row(v) {
 			if !eliminated[w] {
 				nb = append(nb, w)
 			}
 		}
 		for i := 0; i < len(nb); i++ {
+			ra := row(nb[i])
 			for j := i + 1; j < len(nb); j++ {
-				a, b := nb[i], nb[j]
-				if _, ok := adj[a][b]; !ok {
-					adj[a][b] = struct{}{}
-					adj[b][a] = struct{}{}
+				b := nb[j]
+				if _, ok := ra[b]; !ok {
+					ra[b] = struct{}{}
+					row(b)[nb[i]] = struct{}{}
 					fill++
 				}
 			}

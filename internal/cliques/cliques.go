@@ -19,12 +19,20 @@ import (
 // the result is sorted lexicographically for determinism. Intended for the
 // sparse networks of this domain; worst-case output is exponential, so
 // maxCliques (if > 0) caps the enumeration.
+//
+// Adjacency tests inside the recursion run through HasEdgeFast; on vertex
+// universes small enough for dense rows (graph.EnsureDense) every test is a
+// single bit probe, which is where most of the pivoting cost goes. Building
+// the rows is a one-time mutation of the shared graph — callers running
+// concurrent HasEdge readers on g should call g.EnsureDense() themselves
+// before fanning out.
 func MaximalCliques(g *graph.Graph, maxCliques int) [][]int32 {
 	n := g.N()
 	var out [][]int32
 	if n == 0 {
 		return out
 	}
+	g.EnsureDense()
 	// Degeneracy-ordered outer loop keeps the recursion shallow on sparse
 	// graphs (Eppstein–Löffler–Strash).
 	order := degeneracyOrder(g)
@@ -49,9 +57,17 @@ func MaximalCliques(g *graph.Graph, maxCliques int) [][]int32 {
 		for _, cand := range [2][]int32{p, x} {
 			for _, u := range cand {
 				cnt := 0
-				for _, v := range p {
-					if g.HasEdge(u, v) {
-						cnt++
+				if row := g.Row(u); row != nil {
+					for _, v := range p {
+						if row.Has(v) {
+							cnt++
+						}
+					}
+				} else {
+					for _, v := range p {
+						if u != v && g.HasEdgeFast(u, v) {
+							cnt++
+						}
 					}
 				}
 				if cnt > best {
@@ -62,19 +78,19 @@ func MaximalCliques(g *graph.Graph, maxCliques int) [][]int32 {
 		// Candidates: P \ N(pivot).
 		var cands []int32
 		for _, v := range p {
-			if pivot < 0 || !g.HasEdge(pivot, v) {
+			if pivot < 0 || pivot == v || !g.HasEdgeFast(pivot, v) {
 				cands = append(cands, v)
 			}
 		}
 		for _, v := range cands {
 			var np, nx []int32
 			for _, w := range p {
-				if g.HasEdge(v, w) {
+				if v != w && g.HasEdgeFast(v, w) {
 					np = append(np, w)
 				}
 			}
 			for _, w := range x {
-				if g.HasEdge(v, w) {
+				if v != w && g.HasEdgeFast(v, w) {
 					nx = append(nx, w)
 				}
 			}
@@ -174,6 +190,7 @@ func ChordalMaximalCliques(g *graph.Graph) [][]int32 {
 // the paper's "retaining all or most of such cliques" objective, made
 // quantitative.
 func CliqueRetention(g, filtered *graph.Graph, minSize int) float64 {
+	filtered.EnsureDense()
 	cliques := MaximalCliques(g, 100000)
 	total, kept := 0, 0
 	for _, c := range cliques {

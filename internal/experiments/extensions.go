@@ -78,11 +78,17 @@ func BorderRuleAblation() ([]BorderRuleRow, error) {
 			}
 		}
 	}
-	frac := func(set graph.EdgeSet) float64 {
+	frac := func(set graph.EdgeView) float64 {
 		if moduleEdges.Len() == 0 {
 			return 0
 		}
-		return float64(set.IntersectionSize(moduleEdges)) / float64(moduleEdges.Len())
+		kept := 0
+		set.ForEach(func(u, v int32) {
+			if moduleEdges.Has(u, v) {
+				kept++
+			}
+		})
+		return float64(kept) / float64(moduleEdges.Len())
 	}
 	var rows []BorderRuleRow
 	for _, p := range []int{8, 64} {
@@ -103,21 +109,19 @@ func BorderRuleAblation() ([]BorderRuleRow, error) {
 			return nil, err
 		}
 		pt := graph.BlockPartition(ord, p)
-		merged := graph.NewEdgeSet(tri.Edges.Len())
+		merged := graph.NewAccumulator(ds.G.N(), tri.Edges.Len())
 		// Interior chordal edges from the triangle-rule run...
-		for k := range tri.Edges {
-			e := graph.KeyEdge(k)
-			if pt.Part[e.U] == pt.Part[e.V] {
-				merged[k] = struct{}{}
+		tri.Edges.ForEach(func(u, v int32) {
+			if pt.Part[u] == pt.Part[v] {
+				merged.Add(u, v)
 			}
-		}
+		})
 		// ...plus coin-admitted border edges from the random-walk run.
-		for k := range coin.Edges {
-			e := graph.KeyEdge(k)
-			if pt.Part[e.U] != pt.Part[e.V] {
-				merged[k] = struct{}{}
+		coin.Edges.ForEach(func(u, v int32) {
+			if pt.Part[u] != pt.Part[v] {
+				merged.Add(u, v)
 			}
-		}
+		})
 		rows = append(rows, BorderRuleRow{
 			Network: ds.Name, Rule: "coin", P: p,
 			EdgesKept: merged.Len(), ModuleEdgesKept: frac(merged),

@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// ---------------------------------------------------------------- CSR core
+
+func TestCSRLayout(t *testing.T) {
+	g := Gnm(60, 140, 3)
+	off, nbr := g.CSR()
+	if len(off) != g.N()+1 || off[0] != 0 || int(off[g.N()]) != len(nbr) {
+		t.Fatalf("offsets malformed: len=%d first=%d last=%d arena=%d",
+			len(off), off[0], off[g.N()], len(nbr))
+	}
+	if len(nbr) != 2*g.M() {
+		t.Fatalf("arena holds %d entries, want 2M=%d", len(nbr), 2*g.M())
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		row := nbr[off[v]:off[v+1]]
+		if len(row) != g.Degree(v) {
+			t.Fatalf("row %d length %d != degree %d", v, len(row), g.Degree(v))
+		}
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				t.Fatalf("row %d not strictly sorted: %v", v, row)
+			}
+		}
+	}
+}
+
+func TestCSREmptyAndSingleVertex(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := NewBuilder(n).Build()
+		if g.N() != n || g.M() != 0 {
+			t.Fatalf("n=%d: got n=%d m=%d", n, g.N(), g.M())
+		}
+		off, nbr := g.CSR()
+		if len(off) != n+1 || len(nbr) != 0 {
+			t.Fatalf("n=%d: off len %d, arena len %d", n, len(off), len(nbr))
+		}
+		if es := g.Edges(); len(es) != 0 {
+			t.Fatalf("n=%d: unexpected edges %v", n, es)
+		}
+	}
+	// Zero value behaves like the empty graph.
+	var zero Graph
+	if zero.N() != 0 || zero.M() != 0 {
+		t.Fatal("zero-value graph not empty")
+	}
+}
+
+func TestHasEdgeFastMatchesHasEdge(t *testing.T) {
+	g := RMAT(8, 6, 0, 0, 0, 7)
+	n := int32(g.N())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if u == v {
+				continue
+			}
+			if g.HasEdge(u, v) != g.HasEdgeFast(u, v) {
+				t.Fatalf("HasEdge and HasEdgeFast disagree on (%d,%d)", u, v)
+			}
+		}
+	}
+	// And again with dense rows built.
+	if !g.EnsureDense() {
+		t.Fatal("EnsureDense refused a small graph")
+	}
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if u != v && g.HasEdge(u, v) != g.HasEdgeFast(u, v) {
+				t.Fatalf("dense HasEdgeFast disagrees on (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestEnsureDenseRows(t *testing.T) {
+	g := Gnm(100, 250, 5)
+	if g.Row(0) != nil {
+		t.Fatal("dense rows present before EnsureDense")
+	}
+	if !g.EnsureDense() {
+		t.Fatal("EnsureDense refused")
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		row := g.Row(v)
+		if row.Count() != g.Degree(v) {
+			t.Fatalf("row %d popcount %d != degree %d", v, row.Count(), g.Degree(v))
+		}
+		for _, w := range g.Neighbors(v) {
+			if !row.Has(w) {
+				t.Fatalf("row %d missing neighbor %d", v, w)
+			}
+		}
+	}
+}
+
+func TestLocalizerReuse(t *testing.T) {
+	g := Gnm(80, 200, 9)
+	loc := g.NewLocalizer()
+	for trial := 0; trial < 5; trial++ {
+		keep := []int32{int32(trial), int32(trial + 10), int32(trial + 20), int32(trial + 30)}
+		sub, toGlobal := loc.Compact(keep)
+		want, wantMap := g.CompactSubgraph(keep)
+		if sub.N() != want.N() || sub.M() != want.M() {
+			t.Fatalf("trial %d: localizer n=%d m=%d, one-shot n=%d m=%d",
+				trial, sub.N(), sub.M(), want.N(), want.M())
+		}
+		for i := range toGlobal {
+			if toGlobal[i] != wantMap[i] {
+				t.Fatalf("trial %d: toGlobal mismatch", trial)
+			}
+		}
+	}
+}
+
+// --------------------------------------------- orderings on the CSR graph
+
+// Every ordering must produce a permutation on CSR graphs across the edge
+// cases: empty, single-vertex, disconnected, and generator graphs.
+func TestOrderingsCSRRoundtrip(t *testing.T) {
+	graphs := map[string]*Graph{
+		"empty":        NewBuilder(0).Build(),
+		"single":       NewBuilder(1).Build(),
+		"isolated":     NewBuilder(5).Build(),
+		"path":         Path(17),
+		"disconnected": FromEdges(9, []Edge{{0, 1}, {1, 2}, {4, 5}}),
+		"rmat":         RMAT(7, 4, 0, 0, 0, 3),
+	}
+	for name, g := range graphs {
+		for _, o := range append(AllOrderings, RandomOrder) {
+			ord := Order(g, o, 5)
+			if !IsPermutation(ord, g.N()) {
+				t.Fatalf("%s/%v: not a permutation of %d", name, o, g.N())
+			}
+			// InversePerm must invert it.
+			pos := InversePerm(ord)
+			for i, v := range ord {
+				if pos[v] != int32(i) {
+					t.Fatalf("%s/%v: InversePerm broken at %d", name, o, i)
+				}
+			}
+		}
+	}
+}
+
+// ------------------------------------------- partitions on the CSR graph
+
+// BlockPartition must roundtrip: parts cover every vertex exactly once,
+// Part[] agrees with Parts[], and internal+border edge counts add up to M —
+// across empty, single-vertex and generator CSR graphs at several P.
+func TestBlockPartitionCSRRoundtrip(t *testing.T) {
+	graphs := map[string]*Graph{
+		"empty":  NewBuilder(0).Build(),
+		"single": NewBuilder(1).Build(),
+		"rmat":   RMAT(7, 4, 0, 0, 0, 11),
+		"gnm":    Gnm(50, 120, 13),
+	}
+	for name, g := range graphs {
+		for _, p := range []int{1, 2, 3, 7, 64} {
+			ord := Order(g, Natural, 0)
+			pt := BlockPartition(ord, p)
+			seen := make([]int, g.N())
+			for pid, part := range pt.Parts {
+				for _, v := range part {
+					seen[v]++
+					if pt.Part[v] != int32(pid) {
+						t.Fatalf("%s P=%d: Part[%d]=%d but listed in part %d",
+							name, p, v, pt.Part[v], pid)
+					}
+				}
+			}
+			for v, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s P=%d: vertex %d covered %d times", name, p, v, c)
+				}
+			}
+			internal, border := pt.InternalEdgeCount(g)
+			sum := border
+			for _, c := range internal {
+				sum += c
+			}
+			if sum != g.M() {
+				t.Fatalf("%s P=%d: internal+border=%d != M=%d", name, p, sum, g.M())
+			}
+			if len(pt.BorderEdges(g)) != border {
+				t.Fatalf("%s P=%d: BorderEdges len disagrees with count", name, p)
+			}
+		}
+	}
+}
+
+// Partition blocks must be contiguous slices of the processing order — the
+// property the CSR arena relies on for rank-local iteration.
+func TestBlockPartitionPreservesOrder(t *testing.T) {
+	g := Gnm(40, 80, 1)
+	ord := Order(g, HighDegree, 0)
+	pt := BlockPartition(ord, 4)
+	i := 0
+	for _, part := range pt.Parts {
+		for _, v := range part {
+			if v != ord[i] {
+				t.Fatalf("partition reordered: pos %d got %d want %d", i, v, ord[i])
+			}
+			i++
+		}
+	}
+}
+
+// ----------------------------------------------------------------- bitset
+
+func TestBitsetOps(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int32{0, 63, 64, 127, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 5 || !b.Has(64) || b.Has(1) {
+		t.Fatalf("count=%d", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 4 {
+		t.Fatal("clear failed")
+	}
+	var got []int32
+	b.ForEach(func(i int32) { got = append(got, i) })
+	want := []int32{0, 63, 127, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach gave %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+	if members := b.AppendMembers(nil); len(members) != 4 || members[3] != 129 {
+		t.Fatalf("AppendMembers gave %v", members)
+	}
+	if !b.Any() {
+		t.Fatal("Any false on non-empty set")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func TestBitsetSubsetAndCount(t *testing.T) {
+	a := NewBitset(200)
+	b := NewBitset(200)
+	for i := int32(0); i < 200; i += 3 {
+		a.Set(i)
+		b.Set(i)
+	}
+	b.Set(100)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊄ a expected")
+	}
+	if got := a.AndCount(b); got != a.Count() {
+		t.Fatalf("AndCount=%d want %d", got, a.Count())
+	}
+	c := NewBitset(200)
+	c.Or(a)
+	if !a.SubsetOf(c) || !c.SubsetOf(a) {
+		t.Fatal("Or did not copy membership")
+	}
+}
+
+// --------------------------------------------------- dense edge accumulator
+
+func TestDenseEdgeSetMatchesSparse(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Gnm(40, 100, seed)
+		dense := NewDenseEdgeSet(40)
+		sparse := NewEdgeSet(0)
+		g.ForEachEdge(func(u, v int32) {
+			dense.Add(u, v)
+			dense.Add(v, u) // duplicate in reverse: must be idempotent
+			sparse.Add(u, v)
+		})
+		if dense.Len() != sparse.Len() {
+			return false
+		}
+		ok := true
+		dense.ForEach(func(u, v int32) {
+			if u >= v || !sparse.Has(u, v) {
+				ok = false
+			}
+		})
+		dg, sg := dense.Graph(40), sparse.Graph(40)
+		return ok && dg.M() == sg.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseEdgeSetSelfLoopIgnored(t *testing.T) {
+	s := NewDenseEdgeSet(4)
+	s.Add(2, 2)
+	if s.Len() != 0 || s.Has(2, 2) {
+		t.Fatal("self loop accepted")
+	}
+}
+
+func TestNewAccumulatorSelection(t *testing.T) {
+	if _, ok := NewAccumulator(100, 10).(*DenseEdgeSet); !ok {
+		t.Fatal("small universe should select the dense accumulator")
+	}
+	if _, ok := NewAccumulator(denseRowLimit+1, 10).(EdgeSet); !ok {
+		t.Fatal("large universe should select the sparse accumulator")
+	}
+	if _, ok := NewAccumulator(0, 10).(EdgeSet); !ok {
+		t.Fatal("empty universe should select the sparse accumulator")
+	}
+}
+
+func TestEdgeListView(t *testing.T) {
+	l := EdgeList{{0, 3}, {1, 2}, {0, 1}}
+	if l.Len() != 3 || !l.Has(3, 0) || l.Has(2, 3) {
+		t.Fatal("EdgeList Has/Len broken")
+	}
+	g := l.Graph(4)
+	if g.M() != 3 || !g.HasEdge(0, 3) {
+		t.Fatal("EdgeList.Graph broken")
+	}
+	s := l.Sorted()
+	if s[0] != (Edge{0, 1}) || s[2] != (Edge{1, 2}) {
+		t.Fatalf("Sorted gave %v", s)
+	}
+}
+
+// ------------------------------------------------------------------ RMAT
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(9, 8, 0, 0, 0, 4)
+	if g.N() != 512 {
+		t.Fatalf("n=%d want 512", g.N())
+	}
+	if g.M() == 0 || g.M() > 8*512 {
+		t.Fatalf("m=%d out of range", g.M())
+	}
+	// Deterministic per seed.
+	h := RMAT(9, 8, 0, 0, 0, 4)
+	if h.M() != g.M() {
+		t.Fatal("RMAT not deterministic")
+	}
+	// Skewed quadrants produce hubs: max degree far above the mean.
+	if g.MaxDegree() < 4*(2*g.M()/g.N()) {
+		t.Fatalf("no hubs: max degree %d, mean %d", g.MaxDegree(), 2*g.M()/g.N())
+	}
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // EdgeKey packs a normalized undirected edge into a comparable uint64.
 func EdgeKey(u, v int32) uint64 {
 	if u > v {
@@ -13,7 +15,46 @@ func KeyEdge(k uint64) Edge {
 	return Edge{int32(k >> 32), int32(k & 0xffffffff)}
 }
 
-// EdgeSet is a set of undirected edges.
+// EdgeView is the read side of an edge container: the hash set (EdgeSet),
+// the dense bitset matrix (DenseEdgeSet) and the flat list (EdgeList) all
+// satisfy it. Filter results are exposed through this interface so a kernel
+// that emits duplicate-free edges can return its flat list without ever
+// materializing a set.
+type EdgeView interface {
+	// Has reports whether {u, v} is present.
+	Has(u, v int32) bool
+	// Len returns the number of edges.
+	Len() int
+	// ForEach calls fn once per edge with u < v, in unspecified order.
+	ForEach(fn func(u, v int32))
+	// Graph materializes the edges as a CSR graph over n vertices.
+	Graph(n int) *Graph
+}
+
+// EdgeCollection is a mutable EdgeView — the accumulator interface shared
+// by the sparse hash set (EdgeSet) and the dense bitset matrix
+// (DenseEdgeSet). Per-rank partial results and merges are accumulated
+// through it; NewAccumulator picks the representation.
+type EdgeCollection interface {
+	EdgeView
+	// Add inserts the undirected edge {u, v}; self loops are ignored.
+	Add(u, v int32)
+}
+
+// NewAccumulator returns an empty EdgeCollection for edges over n vertices,
+// expecting roughly capHint edges. Below the dense threshold it returns a
+// DenseEdgeSet — a bitset adjacency matrix with lazily allocated rows whose
+// Add/Has are single bit operations — and an EdgeSet hash set otherwise.
+// The dense variant pays off when n is small (row footprint n/8 bytes) or
+// the expected density is high; the hash set stays O(edges) regardless of n.
+func NewAccumulator(n, capHint int) EdgeCollection {
+	if n > 0 && n <= denseRowLimit {
+		return NewDenseEdgeSet(n)
+	}
+	return NewEdgeSet(capHint)
+}
+
+// EdgeSet is a sparse set of undirected edges backed by a hash map.
 type EdgeSet map[uint64]struct{}
 
 // NewEdgeSet returns an empty edge set with the given capacity hint.
@@ -36,6 +77,14 @@ func (s EdgeSet) Has(u, v int32) bool {
 // Len returns the number of edges in the set.
 func (s EdgeSet) Len() int { return len(s) }
 
+// ForEach calls fn once per edge with u < v, in unspecified order.
+func (s EdgeSet) ForEach(fn func(u, v int32)) {
+	for k := range s {
+		e := KeyEdge(k)
+		fn(e.U, e.V)
+	}
+}
+
 // AddSet inserts every edge of t into s.
 func (s EdgeSet) AddSet(t EdgeSet) {
 	for k := range t {
@@ -55,6 +104,7 @@ func (s EdgeSet) Edges() []Edge {
 // Graph materializes the edge set as a Graph over n vertices.
 func (s EdgeSet) Graph(n int) *Graph {
 	b := NewBuilder(n)
+	b.Grow(len(s))
 	for k := range s {
 		e := KeyEdge(k)
 		b.AddEdge(e.U, e.V)
@@ -81,4 +131,122 @@ func (s EdgeSet) IntersectionSize(t EdgeSet) int {
 		}
 	}
 	return n
+}
+
+// DenseEdgeSet is the Dense(n) variant of EdgeSet: a symmetric bitset
+// adjacency matrix over a fixed vertex universe. Rows are allocated lazily
+// on first touch, so the footprint is proportional to the number of
+// distinct endpoints rather than n² until the matrix actually fills. Add
+// and Has are single bit operations, which is what makes it the right
+// accumulator for the triangle-rule border test and the filter merge on
+// small, dense universes.
+type DenseEdgeSet struct {
+	n    int
+	m    int
+	rows []Bitset
+}
+
+// NewDenseEdgeSet returns an empty dense edge set over n vertices.
+// Endpoints passed to Add/Has must lie in [0, n).
+func NewDenseEdgeSet(n int) *DenseEdgeSet {
+	return &DenseEdgeSet{n: n, rows: make([]Bitset, n)}
+}
+
+func (s *DenseEdgeSet) row(v int32) Bitset {
+	if s.rows[v] == nil {
+		s.rows[v] = NewBitset(s.n)
+	}
+	return s.rows[v]
+}
+
+// Add inserts the edge {u, v}. Self loops are ignored. Panics if an
+// endpoint is outside [0, n).
+func (s *DenseEdgeSet) Add(u, v int32) {
+	if u == v {
+		return
+	}
+	ru := s.row(u)
+	if ru.Has(v) {
+		return
+	}
+	ru.Set(v)
+	s.row(v).Set(u)
+	s.m++
+}
+
+// Has reports whether the edge {u, v} is present.
+func (s *DenseEdgeSet) Has(u, v int32) bool {
+	r := s.rows[u]
+	return r != nil && u != v && r.Has(v)
+}
+
+// Len returns the number of edges.
+func (s *DenseEdgeSet) Len() int { return s.m }
+
+// ForEach calls fn once per edge with u < v, in ascending (u, v) order.
+func (s *DenseEdgeSet) ForEach(fn func(u, v int32)) {
+	for u, r := range s.rows {
+		if r == nil {
+			continue
+		}
+		u32 := int32(u)
+		r.ForEach(func(v int32) {
+			if u32 < v {
+				fn(u32, v)
+			}
+		})
+	}
+}
+
+// Graph materializes the edges as a CSR graph over n vertices (n may exceed
+// the accumulator's universe).
+func (s *DenseEdgeSet) Graph(n int) *Graph {
+	b := NewBuilder(n)
+	b.Grow(s.m)
+	s.ForEach(b.AddEdge)
+	return b.Build()
+}
+
+// EdgeList is an append-only list of normalized undirected edges — the
+// natural output of kernels like DSW that emit every edge exactly once and
+// therefore need no dedup set. It implements the read-only half of
+// EdgeCollection cheaply; Has is a linear scan and is meant for tests and
+// small lists only.
+type EdgeList []Edge
+
+// Len returns the number of edges.
+func (l EdgeList) Len() int { return len(l) }
+
+// Has reports whether {u, v} is in the list. O(len); not for hot paths.
+func (l EdgeList) Has(u, v int32) bool {
+	e := NormEdge(u, v)
+	for _, x := range l {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn once per edge with u < v, in list order.
+func (l EdgeList) ForEach(fn func(u, v int32)) {
+	for _, e := range l {
+		fn(e.U, e.V)
+	}
+}
+
+// Graph materializes the list as a CSR graph over n vertices.
+func (l EdgeList) Graph(n int) *Graph { return FromEdges(n, l) }
+
+// Sorted returns the list sorted by (U, V), for deterministic output.
+func (l EdgeList) Sorted() EdgeList {
+	out := make(EdgeList, len(l))
+	copy(out, l)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
 }

@@ -73,6 +73,48 @@ func Grid(rows, cols int) *Graph {
 	return b.Build()
 }
 
+// RMAT returns a recursive-matrix (R-MAT, Chakrabarti–Zhan–Faloutsos) graph
+// over n = 2^scale vertices with (up to) edgeFactor·n distinct edges: each
+// edge picks its endpoints by recursively descending into one of the four
+// adjacency-matrix quadrants with probabilities (a, b, c, 1−a−b−c). Skewed
+// quadrant weights produce the heavy-tailed degree distributions of real
+// networks, which is what makes it the standard stress generator for the
+// graph kernels. Passing a = b = c = 0 selects the Graph500 defaults
+// (0.57, 0.19, 0.19). Self loops and duplicates are discarded, so the
+// realized edge count can be slightly below the target; deterministic per
+// seed.
+func RMAT(scale uint, edgeFactor int, a, b, c float64, seed int64) *Graph {
+	if a == 0 && b == 0 && c == 0 {
+		a, b, c = 0.57, 0.19, 0.19
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(n)
+	bld.Grow(m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < int(scale); bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			bld.AddEdge(int32(u), int32(v))
+		}
+	}
+	return bld.Build()
+}
+
 // PreferentialAttachment returns a Barabási–Albert style scale-free graph:
 // each new vertex attaches k edges to existing vertices with probability
 // proportional to degree.

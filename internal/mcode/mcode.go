@@ -151,7 +151,9 @@ func CoreNumbers(g *graph.Graph) []int {
 // of the highest k-core of the vertex's (closed) neighborhood, multiplied by
 // the density of that k-core subgraph. Vertices are independent, so the
 // computation is parallelized over GOMAXPROCS workers (deterministic: each
-// weight depends only on the input graph).
+// weight depends only on the input graph). Each worker owns one
+// graph.Localizer, so neighborhood extraction reuses O(N) scratch instead of
+// allocating it per vertex.
 func VertexWeights(g *graph.Graph) []float64 {
 	n := g.N()
 	w := make([]float64, n)
@@ -167,8 +169,10 @@ func VertexWeights(g *graph.Graph) []float64 {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			loc := g.NewLocalizer()
+			region := make([]int32, 0, g.MaxDegree()+1)
 			for v := int32(k); int(v) < n; v += int32(workers) {
-				w[v] = vertexWeight(g, v)
+				w[v] = vertexWeight(g, loc, region, v)
 			}
 		}(k)
 	}
@@ -176,16 +180,16 @@ func VertexWeights(g *graph.Graph) []float64 {
 	return w
 }
 
-// vertexWeight computes the MCODE weight of one vertex.
-func vertexWeight(g *graph.Graph, v int32) float64 {
+// vertexWeight computes the MCODE weight of one vertex using the worker's
+// localizer and region scratch.
+func vertexWeight(g *graph.Graph, loc *graph.Localizer, region []int32, v int32) float64 {
 	nb := g.Neighbors(v)
 	if len(nb) == 0 {
 		return 0
 	}
-	region := make([]int32, 0, len(nb)+1)
-	region = append(region, v)
+	region = append(region[:0], v)
 	region = append(region, nb...)
-	sub, _ := g.CompactSubgraph(region)
+	sub, _ := loc.Compact(region)
 	cores := CoreNumbers(sub)
 	k := 0
 	for _, c := range cores {
@@ -214,9 +218,17 @@ func vertexWeight(g *graph.Graph, v int32) float64 {
 
 // FindClusters runs MCODE complex prediction on g and returns clusters
 // passing the score/size filters, highest score first.
+//
+// On small vertex universes FindClusters builds g's dense adjacency rows
+// (graph.EnsureDense), a one-time mutation of the shared graph; callers
+// running concurrent HasEdge/HasEdgeFast readers on the same graph should
+// call g.EnsureDense() themselves before fanning out.
 func FindClusters(g *graph.Graph, p Params) []Cluster {
 	p = p.withDefaults()
 	n := g.N()
+	// Dense adjacency rows (when the universe is small enough) turn the
+	// cluster-scoring edge counts into AND-popcounts over bitset rows.
+	g.EnsureDense()
 	weights := VertexWeights(g)
 
 	// Seeds in decreasing weight order.
@@ -232,15 +244,23 @@ func FindClusters(g *graph.Graph, p Params) []Cluster {
 	})
 
 	used := make([]bool, n)
+	var fluffLoc *graph.Localizer
+	if p.Fluff {
+		fluffLoc = g.NewLocalizer()
+	}
+	// One membership bitset shared by the grow/haircut/fluff/score stages of
+	// every seed; each stage leaves it clean (clearing by member list), so
+	// the per-seed cost stays O(|complex|), not O(n/8).
+	scratch := graph.NewBitset(n)
 	var clusters []Cluster
 	for _, seed := range seeds {
 		if used[seed] || weights[seed] == 0 {
 			continue
 		}
 		threshold := weights[seed] * (1 - p.VertexWeightPercentage)
-		members := growComplex(g, seed, threshold, weights, used)
+		members := growComplex(g, seed, threshold, weights, used, scratch)
 		if p.Haircut {
-			members = haircut(g, members)
+			members = haircut(g, members, scratch)
 		}
 		if len(members) == 0 {
 			continue
@@ -251,9 +271,9 @@ func FindClusters(g *graph.Graph, p Params) []Cluster {
 		if p.Fluff {
 			// Fluffed vertices are not marked used: they may join several
 			// complexes, as in MCODE.
-			members = fluff(g, members, p.FluffDensityThreshold)
+			members = fluff(g, fluffLoc, members, p.FluffDensityThreshold, scratch)
 		}
-		c := scoreCluster(g, members)
+		c := scoreCluster(g, members, scratch)
 		if len(c.Vertices) >= p.MinSize && c.Score >= p.MinScore {
 			c.Seed = seed
 			c.ID = len(clusters)
@@ -268,52 +288,55 @@ func FindClusters(g *graph.Graph, p Params) []Cluster {
 }
 
 // growComplex BFS-expands from seed, admitting unused vertices whose weight
-// exceeds the threshold.
-func growComplex(g *graph.Graph, seed int32, threshold float64, weights []float64, used []bool) []int32 {
-	inComplex := map[int32]bool{seed: true}
+// exceeds the threshold. Membership tracking uses the shared scratch bitset
+// (received clean, returned clean); admitted members are collected on the
+// fly, so no map or second pass is needed.
+func growComplex(g *graph.Graph, seed int32, threshold float64, weights []float64, used []bool, in graph.Bitset) []int32 {
+	in.Set(seed)
+	members := []int32{seed}
 	queue := []int32{seed}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		for _, u := range g.Neighbors(v) {
-			if used[u] || inComplex[u] {
+			if used[u] || in.Has(u) {
 				continue
 			}
 			if weights[u] > threshold {
-				inComplex[u] = true
+				in.Set(u)
+				members = append(members, u)
 				queue = append(queue, u)
 			}
 		}
 	}
-	members := make([]int32, 0, len(inComplex))
-	for v := range inComplex {
-		members = append(members, v)
+	for _, v := range members {
+		in.Clear(v)
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	return members
 }
 
 // haircut iteratively removes vertices with fewer than 2 connections inside
-// the complex.
-func haircut(g *graph.Graph, members []int32) []int32 {
-	in := make(map[int32]bool, len(members))
+// the complex. in is the shared scratch bitset (received clean, returned
+// clean).
+func haircut(g *graph.Graph, members []int32, in graph.Bitset) []int32 {
 	for _, v := range members {
-		in[v] = true
+		in.Set(v)
 	}
 	for {
 		removed := false
 		for _, v := range members {
-			if !in[v] {
+			if !in.Has(v) {
 				continue
 			}
 			deg := 0
 			for _, u := range g.Neighbors(v) {
-				if in[u] {
+				if in.Has(u) {
 					deg++
 				}
 			}
 			if deg < 2 {
-				in[v] = false
+				in.Clear(v)
 				removed = true
 			}
 		}
@@ -323,57 +346,76 @@ func haircut(g *graph.Graph, members []int32) []int32 {
 	}
 	out := members[:0]
 	for _, v := range members {
-		if in[v] {
+		if in.Has(v) {
 			out = append(out, v)
 		}
+		in.Clear(v)
 	}
 	return out
 }
 
 // fluff adds complex neighbors whose closed-neighborhood density exceeds the
-// threshold. Returns a sorted, deduplicated member list.
-func fluff(g *graph.Graph, members []int32, threshold float64) []int32 {
-	in := make(map[int32]bool, len(members))
+// threshold. Returns a sorted, deduplicated member list. in is the shared
+// scratch bitset (received clean, returned clean).
+func fluff(g *graph.Graph, loc *graph.Localizer, members []int32, threshold float64, in graph.Bitset) []int32 {
 	for _, v := range members {
-		in[v] = true
+		in.Set(v)
 	}
 	out := append([]int32(nil), members...)
+	region := make([]int32, 0, g.MaxDegree()+1)
 	for _, v := range members {
 		for _, u := range g.Neighbors(v) {
-			if in[u] {
+			if in.Has(u) {
 				continue
 			}
-			region := make([]int32, 0, g.Degree(u)+1)
-			region = append(region, u)
+			region = append(region[:0], u)
 			region = append(region, g.Neighbors(u)...)
-			sub, _ := g.CompactSubgraph(region)
+			sub, _ := loc.Compact(region)
 			nn := sub.N()
 			if nn < 2 {
 				continue
 			}
 			density := 2 * float64(sub.M()) / (float64(nn) * float64(nn-1))
 			if density > threshold {
-				in[u] = true
+				in.Set(u)
 				out = append(out, u)
 			}
 		}
+	}
+	for _, v := range out {
+		in.Clear(v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-func scoreCluster(g *graph.Graph, members []int32) Cluster {
-	in := make(map[int32]bool, len(members))
+// scoreCluster counts internal edges via bitset membership — a dense-row
+// AND-popcount when the graph carries dense adjacency rows, a bit probe per
+// neighbor otherwise. in is the shared scratch bitset (received clean,
+// returned clean).
+func scoreCluster(g *graph.Graph, members []int32, in graph.Bitset) Cluster {
 	for _, v := range members {
-		in[v] = true
+		in.Set(v)
 	}
 	edges := 0
-	for _, v := range members {
-		for _, u := range g.Neighbors(v) {
-			if v < u && in[u] {
-				edges++
+	if g.Row(0) != nil && len(members) > 0 {
+		// Σ_v |N(v) ∩ members| counts each internal edge twice.
+		total := 0
+		for _, v := range members {
+			total += g.Row(v).AndCount(in)
+		}
+		edges = total / 2
+	} else {
+		for _, v := range members {
+			for _, u := range g.Neighbors(v) {
+				if v < u && in.Has(u) {
+					edges++
+				}
 			}
 		}
+	}
+	for _, v := range members {
+		in.Clear(v)
 	}
 	c := Cluster{Vertices: members, Edges: edges}
 	nn := len(members)

@@ -195,7 +195,7 @@ func TestHaircutRemovesPendants(t *testing.T) {
 	b.AddEdge(0, 2)
 	b.AddEdge(2, 3)
 	g := b.Build()
-	members := haircut(g, []int32{0, 1, 2, 3})
+	members := haircut(g, []int32{0, 1, 2, 3}, graph.NewBitset(g.N()))
 	if len(members) != 3 {
 		t.Fatalf("haircut left %d vertices, want 3", len(members))
 	}

@@ -1,12 +1,16 @@
 package sampling
 
 import (
+	"sort"
+
 	"parsample/internal/chordal"
 	"parsample/internal/graph"
 	"parsample/internal/mpisim"
 )
 
 // chordalSequential runs the Dearing–Shier–Warner filter on the whole graph.
+// The DSW edge list is duplicate free by construction, so it is wrapped
+// directly — no set is materialized.
 func chordalSequential(g *graph.Graph, opts Options) *Result {
 	cr := chordal.MaximalSubgraph(g, opts.Order)
 	res := &Result{Algorithm: ChordalSeq, Edges: cr.Edges}
@@ -16,19 +20,17 @@ func chordalSequential(g *graph.Graph, opts Options) *Result {
 }
 
 // localChordal computes the maximal chordal subgraph of the edges fully
-// inside one partition block, returning edges in global vertex ids. The
-// block's position in the global processing order is preserved.
-func localChordal(g *graph.Graph, block []int32) (graph.EdgeSet, int64) {
+// inside one partition block, accumulating edges in global vertex ids into
+// out. The block's position in the global processing order is preserved.
+func localChordal(g *graph.Graph, block []int32, out graph.EdgeCollection) int64 {
 	sub, toGlobal := g.CompactSubgraph(block)
 	// CompactSubgraph labels block[i] as local vertex i, so the local natural
 	// order is exactly the block's slice of the global processing order.
 	cr := chordal.MaximalSubgraph(sub, graph.NaturalOrder(sub.N()))
-	out := graph.NewEdgeSet(cr.Edges.Len())
-	for k := range cr.Edges {
-		e := graph.KeyEdge(k)
+	for _, e := range cr.Edges {
 		out.Add(toGlobal[e.U], toGlobal[e.V])
 	}
-	return out, cr.Ops
+	return cr.Ops
 }
 
 // chordalNoComm is the paper's improved communication-free parallel chordal
@@ -44,33 +46,56 @@ func chordalNoComm(g *graph.Graph, opts Options) *Result {
 	comm := mpisim.NewComm(p) // used only for its Run helper; no messages
 	comm.Run(func(rank int) {
 		block := pt.Parts[rank]
-		local, ops := localChordal(g, block)
-		// Group border edges by their external endpoint.
-		ext := make(map[int32][]int32)
+		local := graph.NewAccumulator(g.N(), 0)
+		ops := localChordal(g, block, local)
+		// Group border edges by their external endpoint. External endpoints
+		// are collected per rank into a flat list sorted by endpoint — the
+		// grouping needs no hash map.
+		var borders []graph.Edge // {external x, internal a}
 		for _, a := range block {
 			for _, x := range g.Neighbors(a) {
 				if pt.Part[x] != int32(rank) {
-					ext[x] = append(ext[x], a)
+					borders = append(borders, graph.Edge{U: x, V: a})
 					ops++
 				}
 			}
 		}
-		for x, as := range ext {
+		sortByExternal(borders)
+		for lo := 0; lo < len(borders); {
+			hi := lo + 1
+			for hi < len(borders) && borders[hi].U == borders[lo].U {
+				hi++
+			}
+			x := borders[lo].U
+			as := borders[lo:hi]
 			for i := 0; i < len(as); i++ {
 				for j := i + 1; j < len(as); j++ {
 					ops++
-					if local.Has(as[i], as[j]) {
-						local.Add(as[i], x)
-						local.Add(as[j], x)
+					// Triangle rule: the local closing edge must be chordal.
+					if local.Has(as[i].V, as[j].V) {
+						local.Add(as[i].V, x)
+						local.Add(as[j].V, x)
 					}
 				}
 			}
+			lo = hi
 		}
 		parts[rank] = rankResult{edges: local, ops: ops}
 	})
 	_, border := pt.InternalEdgeCount(g)
-	res := mergeRanks(ChordalNoComm, parts, border)
+	res := mergeRanks(ChordalNoComm, g.N(), parts, border)
 	return res
+}
+
+// sortByExternal sorts border records by their external endpoint (U), with
+// the internal endpoint (V) as a tiebreak for determinism.
+func sortByExternal(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
 }
 
 // borderMsg is the payload exchanged by chordalWithComm.
@@ -114,7 +139,8 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 
 	comm.Run(func(rank int) {
 		block := pt.Parts[rank]
-		local, ops := localChordal(g, block)
+		local := graph.NewAccumulator(g.N(), 0)
+		ops := localChordal(g, block, local)
 
 		// Send mutual border edges to every higher-ranked partner, chunked.
 		for recv := rank + 1; recv < p; recv++ {
@@ -139,8 +165,12 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 		// preserves chordality). Scanning u's previously accepted neighbors
 		// for every candidate is where the paper's O(b²/d) receiver cost
 		// comes from.
-		accepted := graph.NewEdgeSet(0)
-		acceptedNbrs := make(map[int32][]int32) // external vertex -> accepted local neighbors
+		// accepted border edges, grouped by external vertex. The accepted
+		// neighbor lists are kept in a per-rank slice table indexed by
+		// external vertex id lazily via a stamp array — no hash map.
+		accepted := graph.NewAccumulator(g.N(), 0)
+		acceptedNbrs := make([][]int32, 0, 16) // compact storage, see extSlot
+		extSlot := make([]int32, g.N())        // external vertex -> slot+1 (0 = none)
 		for send := 0; send < rank; send++ {
 			for {
 				msg := comm.Recv(rank, send)
@@ -153,7 +183,11 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 					if pt.Part[ext] == int32(rank) {
 						ext, loc = loc, ext
 					}
-					bu := acceptedNbrs[ext]
+					slot := extSlot[ext]
+					var bu []int32
+					if slot > 0 {
+						bu = acceptedNbrs[slot-1]
+					}
 					ok := true
 					for _, w := range bu {
 						ops++
@@ -170,17 +204,22 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 					ops += int64(g.Degree(loc)) + 1
 					if ok {
 						accepted.Add(ext, loc)
-						acceptedNbrs[ext] = append(bu, loc)
+						if slot == 0 {
+							acceptedNbrs = append(acceptedNbrs, nil)
+							slot = int32(len(acceptedNbrs))
+							extSlot[ext] = slot
+						}
+						acceptedNbrs[slot-1] = append(acceptedNbrs[slot-1], loc)
 					}
 				}
 			}
 		}
-		local.AddSet(accepted)
+		accepted.ForEach(local.Add)
 		parts[rank] = rankResult{edges: local, ops: ops}
 	})
 
 	_, border := pt.InternalEdgeCount(g)
-	res := mergeRanks(ChordalComm, parts, border)
+	res := mergeRanks(ChordalComm, g.N(), parts, border)
 	res.Stats.Messages = comm.Messages()
 	res.Stats.Bytes = comm.Bytes()
 	return res

@@ -17,16 +17,18 @@ import (
 
 // forestFire runs fires over an adjacency view until `selections` edges have
 // been selected (repeat selections across fires count, as in the random
-// walk). pf is the forward-burning probability.
-func forestFire(verts []int32, neighbors func(int32) []int32, selections int,
-	pf float64, rng *rand.Rand) (graph.EdgeSet, int64) {
-	set := graph.NewEdgeSet(selections / 2)
+// walk). pf is the forward-burning probability. Selected edges accumulate
+// into set; n is the vertex universe (for the burn-tag array).
+func forestFire(verts []int32, n int, neighbors func(int32) []int32, selections int,
+	pf float64, rng *rand.Rand, set graph.EdgeCollection) int64 {
 	var ops int64
 	if len(verts) == 0 || selections <= 0 {
-		return set, ops
+		return ops
 	}
-	burnedAt := make(map[int32]int) // vertex -> fire id that burned it
-	fire := 0
+	// burnedAt is O(n) per rank (all ranks run concurrently); int32 halves
+	// the footprint versus int.
+	burnedAt := make([]int32, n) // vertex -> fire id that burned it (0 = never)
+	fire := int32(0)
 	sel := 0
 	idle := 0
 	for sel < selections {
@@ -72,14 +74,15 @@ func forestFire(verts []int32, neighbors func(int32) []int32, selections int,
 			idle++
 		}
 	}
-	return set, ops
+	return ops
 }
 
 // forestFireSequential applies the forest-fire filter to the whole network.
 func forestFireSequential(g *graph.Graph, opts Options) *Result {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	verts := graph.NaturalOrder(g.N())
-	set, ops := forestFire(verts, g.Neighbors, g.M()/2, defaultForwardProb, rng)
+	set := graph.NewAccumulator(g.N(), g.M()/4)
+	ops := forestFire(verts, g.N(), g.Neighbors, g.M()/2, defaultForwardProb, rng, set)
 	res := &Result{Algorithm: ForestFireSeq, Edges: set}
 	res.Stats.P = 1
 	res.Stats.RankOps = []int64{ops}
@@ -110,7 +113,8 @@ func forestFireParallel(g *graph.Graph, opts Options) *Result {
 			}
 			return out
 		}
-		set, ops := forestFire(block, nb, internal[rank]/2, defaultForwardProb, rng)
+		set := graph.NewAccumulator(g.N(), internal[rank]/4)
+		ops := forestFire(block, g.N(), nb, internal[rank]/2, defaultForwardProb, rng, set)
 		for _, a := range block {
 			for _, x := range g.Neighbors(a) {
 				if pt.Part[x] != int32(rank) {
@@ -123,5 +127,5 @@ func forestFireParallel(g *graph.Graph, opts Options) *Result {
 		}
 		parts[rank] = rankResult{edges: set, ops: ops}
 	})
-	return mergeRanks(ForestFirePar, parts, border)
+	return mergeRanks(ForestFirePar, g.N(), parts, border)
 }

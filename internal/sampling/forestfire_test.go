@@ -29,11 +29,11 @@ func TestForestFireDeterministicPerSeed(t *testing.T) {
 	if a.Edges.Len() != b.Edges.Len() {
 		t.Fatal("not deterministic")
 	}
-	for k := range a.Edges {
-		if _, ok := b.Edges[k]; !ok {
+	a.Edges.ForEach(func(u, v int32) {
+		if !b.Edges.Has(u, v) {
 			t.Fatal("edge sets differ for same seed")
 		}
-	}
+	})
 }
 
 func TestForestFireEmptyAndEdgeless(t *testing.T) {

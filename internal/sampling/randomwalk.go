@@ -15,13 +15,12 @@ import (
 // repeats). Vertices with no eligible edges cause a uniform restart.
 //
 // neighbors(v) returns the eligible neighbor list of v; verts is the pool of
-// restart vertices.
+// restart vertices. Selected edges accumulate into set.
 func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
-	rng *rand.Rand) (graph.EdgeSet, int64) {
-	set := graph.NewEdgeSet(selections / 2)
+	rng *rand.Rand, set graph.EdgeCollection) int64 {
 	var ops int64
 	if len(verts) == 0 || selections <= 0 {
-		return set, ops
+		return ops
 	}
 	cur := verts[rng.Intn(len(verts))]
 	failures := 0
@@ -44,7 +43,7 @@ func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
 		set.Add(cur, next)
 		cur = next
 	}
-	return set, ops
+	return ops
 }
 
 // randomWalkSequential is the sequential random-walk control filter: the
@@ -52,9 +51,9 @@ func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
 // number of edges of the network.
 func randomWalkSequential(g *graph.Graph, opts Options) *Result {
 	rng := rand.New(rand.NewSource(opts.Seed))
-	verts := make([]int32, g.N())
-	copy(verts, graph.NaturalOrder(g.N()))
-	set, ops := walkEdges(verts, g.Neighbors, g.M()/2, rng)
+	verts := graph.NaturalOrder(g.N())
+	set := graph.NewAccumulator(g.N(), g.M()/4)
+	ops := walkEdges(verts, g.Neighbors, g.M()/2, rng, set)
 	res := &Result{Algorithm: RandomWalkSeq, Edges: set}
 	res.Stats.P = 1
 	res.Stats.RankOps = []int64{ops}
@@ -86,7 +85,8 @@ func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 			}
 			return out
 		}
-		set, ops := walkEdges(block, nb, internal[rank]/2, rng)
+		set := graph.NewAccumulator(g.N(), internal[rank]/4)
+		ops := walkEdges(block, nb, internal[rank]/2, rng, set)
 		// Border edges incident on this partition: coin-flip admission.
 		for _, a := range block {
 			for _, x := range g.Neighbors(a) {
@@ -100,7 +100,7 @@ func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 		}
 		parts[rank] = rankResult{edges: set, ops: ops}
 	})
-	res := mergeRanks(RandomWalkPar, parts, border)
+	res := mergeRanks(RandomWalkPar, g.N(), parts, border)
 	return res
 }
 

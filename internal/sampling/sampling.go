@@ -85,8 +85,12 @@ type Options struct {
 type Result struct {
 	// Algorithm that produced the result.
 	Algorithm Algorithm
-	// Edges of the sampled (filtered) subgraph, duplicates removed.
-	Edges graph.EdgeSet
+	// Edges of the sampled (filtered) subgraph, duplicates removed. The
+	// concrete representation is chosen per run: the sequential chordal
+	// filter returns its duplicate-free flat edge list directly; parallel
+	// merges use a dense bitset matrix on small vertex universes and a hash
+	// set on large ones (graph.NewAccumulator).
+	Edges graph.EdgeView
 	// Stats feeds the mpisim cost model (per-rank ops, message/byte counts,
 	// serial post-processing ops).
 	Stats mpisim.RunStats
@@ -133,28 +137,31 @@ func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
 
 // rankResult is a per-processor partial result.
 type rankResult struct {
-	edges graph.EdgeSet
+	edges graph.EdgeCollection
 	ops   int64
 }
 
 // mergeRanks unions per-rank edge sets sequentially (the paper notes the
 // duplicate removal is done during the sequential analysis phase) and counts
-// duplicates.
-func mergeRanks(alg Algorithm, parts []rankResult, border int) *Result {
+// duplicates. n is the vertex universe of the input graph.
+func mergeRanks(alg Algorithm, n int, parts []rankResult, border int) *Result {
+	total := 0
+	for _, pr := range parts {
+		total += pr.edges.Len()
+	}
+	merged := graph.NewAccumulator(n, total)
 	res := &Result{
 		Algorithm:   alg,
-		Edges:       graph.NewEdgeSet(0),
+		Edges:       merged,
 		BorderEdges: border,
 	}
 	res.Stats.P = len(parts)
 	res.Stats.RankOps = make([]int64, len(parts))
-	total := 0
 	for r, pr := range parts {
 		res.Stats.RankOps[r] = pr.ops
-		total += pr.edges.Len()
-		res.Edges.AddSet(pr.edges)
+		pr.edges.ForEach(merged.Add)
 	}
-	res.DuplicateBorderEdges = total - res.Edges.Len()
+	res.DuplicateBorderEdges = total - merged.Len()
 	res.Stats.SerialOps = int64(total)
 	return res
 }

@@ -78,11 +78,11 @@ func TestNoCommOneProcessorEqualsSequential(t *testing.T) {
 	if par.Edges.Len() != seqr.Edges.Len() {
 		t.Fatalf("P=1 nocomm %d edges, sequential %d", par.Edges.Len(), seqr.Edges.Len())
 	}
-	for k := range seqr.Edges {
-		if _, ok := par.Edges[k]; !ok {
+	seqr.Edges.ForEach(func(u, v int32) {
+		if !par.Edges.Has(u, v) {
 			t.Fatal("P=1 nocomm differs from sequential")
 		}
-	}
+	})
 	if par.BorderEdges != 0 {
 		t.Fatalf("P=1 should have 0 border edges, got %d", par.BorderEdges)
 	}
@@ -220,22 +220,19 @@ func TestRandomWalkDeterministicPerSeed(t *testing.T) {
 	if a.Edges.Len() != b.Edges.Len() {
 		t.Fatal("same seed, different result")
 	}
-	for k := range a.Edges {
-		if _, ok := b.Edges[k]; !ok {
+	a.Edges.ForEach(func(u, v int32) {
+		if !b.Edges.Has(u, v) {
 			t.Fatal("same seed, different edges")
 		}
-	}
+	})
 	c := mustRun(t, RandomWalkSeq, g, Options{Seed: 8})
-	same := true
-	if c.Edges.Len() != a.Edges.Len() {
-		same = false
-	} else {
-		for k := range a.Edges {
-			if _, ok := c.Edges[k]; !ok {
+	same := c.Edges.Len() == a.Edges.Len()
+	if same {
+		a.Edges.ForEach(func(u, v int32) {
+			if !c.Edges.Has(u, v) {
 				same = false
-				break
 			}
-		}
+		})
 	}
 	if same {
 		t.Fatal("different seeds gave identical walks (suspicious)")

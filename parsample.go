@@ -8,6 +8,14 @@
 //	expression matrix ─Pearson→ correlation network ─order→ chordal filter
 //	  ─MCODE→ clusters ─GO edge enrichment→ AEES scores ─overlap→ validation
 //
+// Every network is a compressed-sparse-row (CSR) Graph: one flat int32
+// neighbor arena plus per-vertex offsets, built exactly once by a Builder
+// that sorts and deduplicates the staged edge list. The combinatorial
+// kernels (DSW chordal extraction, MCODE, Bron–Kerbosch) run on bitset
+// candidate/membership sets over that arena, and block partitions hand each
+// simulated processor a contiguous arena slice — the layout the parallel
+// and (future) sharded execution paths rely on.
+//
 // Quick use:
 //
 //	g, _ := parsample.ReadNetwork(f)
@@ -17,6 +25,13 @@
 //	        P:         8,
 //	})
 //	clusters := parsample.Clusters(filtered.Graph(g.N()))
+//
+// Networks built in memory go through NewBuilder:
+//
+//	b := parsample.NewBuilder(4)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	g := b.Build() // sorted, deduplicated CSR
 //
 // See the examples/ directory for full end-to-end programs and
 // internal/experiments for the drivers that regenerate every figure of the
@@ -42,8 +57,13 @@ type (
 	Graph = graph.Graph
 	// Edge is a normalized undirected edge (U < V).
 	Edge = graph.Edge
-	// EdgeSet is a set of undirected edges.
+	// EdgeSet is a sparse set of undirected edges.
 	EdgeSet = graph.EdgeSet
+	// Bitset is a flat-word vertex set, the membership structure used by the
+	// dense kernels.
+	Bitset = graph.Bitset
+	// Builder accumulates edges and emits an immutable CSR Graph.
+	Builder = graph.Builder
 	// Ordering selects a vertex processing order (Natural, HighDegree,
 	// LowDegree, RCM, RandomOrder).
 	Ordering = graph.Ordering
@@ -111,11 +131,15 @@ func Filter(g *Graph, opts FilterOptions) (*Result, error) {
 	})
 }
 
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
 // MaximalChordalSubgraph extracts a maximal chordal subgraph of g under the
-// given ordering and returns it as a graph.
+// given ordering and returns it as a CSR graph (built directly from the
+// DSW edge list; no intermediate edge set is materialized).
 func MaximalChordalSubgraph(g *Graph, o Ordering, seed int64) *Graph {
 	res := chordal.MaximalSubgraph(g, graph.Order(g, o, seed))
-	return res.Edges.Graph(g.N())
+	return res.SubgraphGraph(g.N())
 }
 
 // IsChordal reports whether g is a chordal graph.
