@@ -17,6 +17,7 @@ import (
 	"parsample/internal/chordal"
 	"parsample/internal/datasets"
 	"parsample/internal/experiments"
+	"parsample/internal/expr"
 	"parsample/internal/graph"
 	"parsample/internal/mcode"
 	"parsample/internal/sampling"
@@ -308,6 +309,73 @@ func BenchmarkMCODEClusters(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBuildNetwork times the correlation front end — the z-scored
+// tiled all-pairs engine behind expr.BuildNetwork — for both statistics on
+// the two reference matrix shapes. The 2048×64 Pearson case is the
+// acceptance metric for the engine rewrite (≥3× over the per-pair seed
+// path on one core).
+func BenchmarkBuildNetwork(b *testing.B) {
+	for _, shape := range []struct{ genes, samples int }{
+		{2048, 64},
+		{4096, 100},
+	} {
+		res, err := expr.Synthesize(expr.SyntheticSpec{
+			Genes: shape.genes, Samples: shape.samples,
+			Modules: 16, ModuleSize: 12, Noise: 0.1, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kind := range []expr.CorrelationKind{expr.PearsonCorr, expr.SpearmanCorr} {
+			opts := expr.DefaultNetworkOptions()
+			opts.Kind = kind
+			b.Run(fmt.Sprintf("%s/%dx%d", kind, shape.genes, shape.samples), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if g := expr.BuildNetwork(res.M, opts); g.M() == 0 {
+						b.Fatal("empty network")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBuilderAddEdges compares bulk edge staging (the engine's path
+// into graph.Builder) against per-edge AddEdge calls.
+func BenchmarkBuilderAddEdges(b *testing.B) {
+	const n = 1 << 14
+	edges := make([]graph.Edge, 1<<18)
+	rngState := uint64(99)
+	next := func() int32 {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return int32((rngState >> 33) % n)
+	}
+	for i := range edges {
+		u, v := next(), next()
+		if u == v {
+			v = (v + 1) % n
+		}
+		edges[i] = graph.Edge{U: u, V: v}
+	}
+	b.Run("AddEdge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bl := graph.NewBuilder(n)
+			for _, e := range edges {
+				bl.AddEdge(e.U, e.V)
+			}
+		}
+	})
+	b.Run("AddEdges", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bl := graph.NewBuilder(n)
+			bl.AddEdges(edges)
+		}
+	})
 }
 
 // BenchmarkAblationOrderings times the sequential chordal filter under each

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|rw|lostfound|cliques|hubs|border|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|rw|lostfound|cliques|hubs|border|corr|all")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -118,6 +118,25 @@ func main() {
 		for _, r := range rows {
 			fmt.Fprintf(out, "%-8s %-16s edges=%5d clique-retention=%.2f\n",
 				r.Network, r.Algorithm, r.EdgesKept, r.Retention)
+		}
+		return nil
+	})
+	run("corr", func() error {
+		experiments.Header(out, "Extension: correlation front end (engine build + threshold cliff)")
+		rows, err := experiments.CorrelationFrontEnd()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-9s %4dx%-3d edges=%6d density=%.5f module-recall=%.2f build=%.3fs\n",
+				r.Kind, r.Genes, r.Samples, r.Edges, r.Density, r.ModuleEdgeRecall, r.BuildSeconds)
+		}
+		pts, err := experiments.CorrelationCliff()
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Fprintf(out, "  |rho| >= %.2f  edges=%6d maxdeg=%4d\n", p.MinAbsR, p.Edges, p.MaxDegree)
 		}
 		return nil
 	})

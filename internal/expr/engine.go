@@ -1,0 +1,324 @@
+package expr
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"parsample/internal/graph"
+)
+
+// This file is the all-pairs correlation engine behind BuildNetwork and
+// ThresholdSweep. Three transformations take the per-pair cost from
+// "two-pass Pearson plus an incomplete-beta p-value" down to one unrolled
+// dot product:
+//
+//  1. Standardization. Every gene row is shifted to zero mean and scaled to
+//     unit L2 norm once, into a flat row-major arena. The Pearson
+//     correlation of any two genes is then exactly the dot product of their
+//     standardized rows; Spearman is the same dot product after replacing
+//     each row by its average-tied ranks before standardizing.
+//  2. Threshold inversion. PValue(r, n) is monotone non-increasing in |r|,
+//     so the per-build pair test "p ≤ MaxP" is equivalent to "|r| ≥ r*"
+//     where r* is the smallest |r| whose p-value clears MaxP. r* is found
+//     once by bisection to adjacent float64s (criticalR); the continued
+//     fraction betacf never runs inside the pair loop.
+//  3. Tiling. The triangular pair sweep is blocked into square row tiles
+//     sized so two tiles of standardized rows sit in L1/L2. Workers claim
+//     tile pairs from an atomic counter, so load balancing is dynamic (the
+//     triangle makes static striding uneven) and each claimed tile's rows
+//     stay hot across its inner loop.
+//
+// The engine applies the naive per-pair admission rule exactly (see
+// TestBuildNetworkMatchesReference); only the arithmetic order inside one
+// correlation differs, at ulp scale, so the edge set can deviate solely
+// for a pair whose coefficient lands within an ulp of the threshold.
+
+// ScoredEdge is a retained gene pair with its correlation coefficient.
+type ScoredEdge struct {
+	U, V int32 // gene ids, U < V
+	R    float64
+}
+
+// CorrelatedPairs computes the selected correlation for every gene pair and
+// returns the pairs passing the option thresholds, sorted by (U, V) with
+// U < V. The result is deterministic and independent of Workers. This is
+// the primitive under BuildNetwork; callers that need the coefficients
+// (threshold sweeps, edge weighting) use it directly instead of re-running
+// per-pair correlations.
+func CorrelatedPairs(m *Matrix, opts NetworkOptions) []ScoredEdge {
+	out := scoredPairs(m, opts)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// scoredPairs is CorrelatedPairs without the (U, V) sort — the engine sweep
+// itself, for callers that canonicalize anyway (BuildNetwork's Builder
+// counting-sorts, ThresholdSweep buckets into Builders).
+func scoredPairs(m *Matrix, opts NetworkOptions) []ScoredEdge {
+	opts = opts.withDefaults()
+	thresh := opts.MinAbsR
+	if rc := criticalR(opts.MaxP, m.Samples); rc > thresh {
+		thresh = rc
+	}
+	e := &engine{
+		genes:    m.Genes,
+		samples:  m.Samples,
+		z:        standardizedRows(m, opts.Kind),
+		tile:     tileRows(m.Samples),
+		thresh:   thresh,
+		negative: opts.Negative,
+	}
+	return e.sweep(opts.Workers)
+}
+
+// engine is one all-pairs sweep over a standardized row arena.
+type engine struct {
+	genes, samples int
+	z              []float64 // genes×samples, zero-mean unit-norm rows
+	tile           int       // rows per tile
+	thresh         float64   // admission: |r| ≥ thresh (sign-gated by negative)
+	negative       bool
+}
+
+// standardizedRows builds the flat arena of standardized expression rows:
+// row g occupies z[g*samples:(g+1)*samples], has zero mean and unit L2
+// norm, so dot(row u, row v) is the Pearson correlation of genes u and v.
+// For SpearmanCorr each row is first replaced by its average-tied ranks.
+// Zero-variance rows become all-zero and therefore correlate to 0 with
+// everything, matching Pearson's and Spearman's degenerate-input behavior.
+func standardizedRows(m *Matrix, kind CorrelationKind) []float64 {
+	s := m.Samples
+	z := make([]float64, m.Genes*s)
+	var rk ranker
+	for g := 0; g < m.Genes; g++ {
+		src := m.Row(g)
+		dst := z[g*s : (g+1)*s]
+		if kind == SpearmanCorr {
+			rk.rankInto(dst, src)
+			src = dst
+		}
+		var sum float64
+		for _, v := range src {
+			sum += v
+		}
+		mean := sum / float64(s)
+		var ss float64
+		for i, v := range src {
+			d := v - mean
+			dst[i] = d
+			ss += d * d
+		}
+		if ss == 0 {
+			for i := range dst {
+				dst[i] = 0
+			}
+			continue
+		}
+		inv := 1 / math.Sqrt(ss)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	return z
+}
+
+// tileRows picks the tile height so that one tile of standardized rows is
+// about 32 KiB — two tiles (the working set of a tile-pair block) then fit
+// comfortably in L1d+L2 and every row loaded for a block is reused against
+// the whole opposing tile.
+func tileRows(samples int) int {
+	if samples <= 0 {
+		// Degenerate zero-width rows (every correlation is 0, matching the
+		// per-pair functions); any tile height works.
+		return 256
+	}
+	const tileBytes = 32 << 10
+	t := tileBytes / (samples * 8)
+	if t < 8 {
+		t = 8
+	}
+	if t > 256 {
+		t = 256
+	}
+	return t
+}
+
+// sweep runs the blocked triangular pair sweep with the given worker count
+// and returns the retained edges in unspecified order.
+func (e *engine) sweep(workers int) []ScoredEdge {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tiles := (e.genes + e.tile - 1) / e.tile
+	totalPairs := int64(tiles) * int64(tiles+1) / 2
+	if totalPairs == 0 {
+		return nil
+	}
+	if int64(workers) > totalPairs {
+		workers = int(totalPairs)
+	}
+	results := make([][]ScoredEdge, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []ScoredEdge
+			for {
+				k := next.Add(1) - 1
+				if k >= totalPairs {
+					break
+				}
+				ti, tj := decodeTilePair(k, tiles)
+				local = e.sweepBlock(ti, tj, local)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]ScoredEdge, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// decodeTilePair maps a linear index k in [0, T(T+1)/2) to the k-th tile
+// pair (i, j), i ≤ j, enumerated row-major over the upper triangle:
+// (0,0)..(0,T-1), (1,1)..(1,T-1), ... The closed form inverts the prefix
+// count c(i) = i·T − i(i−1)/2; the correction loop absorbs float rounding.
+func decodeTilePair(k int64, tiles int) (int, int) {
+	tf := float64(tiles)
+	i := int((2*tf + 1 - math.Sqrt((2*tf+1)*(2*tf+1)-8*float64(k))) / 2)
+	if i < 0 {
+		i = 0
+	}
+	rowStart := func(i int) int64 { return int64(i)*int64(tiles) - int64(i)*int64(i-1)/2 }
+	for i > 0 && rowStart(i) > k {
+		i--
+	}
+	for i+1 < tiles && rowStart(i+1) <= k {
+		i++
+	}
+	j := i + int(k-rowStart(i))
+	return i, j
+}
+
+// sweepBlock computes all pairs between tile ti and tile tj (the triangle
+// above the diagonal when ti == tj) and appends the admitted edges.
+func (e *engine) sweepBlock(ti, tj int, out []ScoredEdge) []ScoredEdge {
+	s := e.samples
+	lo1, hi1 := e.tileSpan(ti)
+	lo2, hi2 := e.tileSpan(tj)
+	for g1 := lo1; g1 < hi1; g1++ {
+		a := e.z[g1*s : g1*s+s]
+		start := lo2
+		if ti == tj {
+			start = g1 + 1
+		}
+		for g2 := start; g2 < hi2; g2++ {
+			r := dot(a, e.z[g2*s:g2*s+s])
+			if r < 0 {
+				if !e.negative || -r < e.thresh {
+					continue
+				}
+			} else if r < e.thresh {
+				continue
+			}
+			out = append(out, ScoredEdge{U: int32(g1), V: int32(g2), R: r})
+		}
+	}
+	return out
+}
+
+func (e *engine) tileSpan(t int) (lo, hi int) {
+	lo = t * e.tile
+	hi = lo + e.tile
+	if hi > e.genes {
+		hi = e.genes
+	}
+	return lo, hi
+}
+
+// dot is the hot kernel: the inner product of two standardized rows, i.e.
+// their correlation coefficient. Eight accumulators hide the FP add
+// latency; the slice re-slice lets the compiler elide bounds checks.
+func dot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	i := 0
+	for ; i <= len(a)-8; i += 8 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+		s4 += a[i+4] * b[i+4]
+		s5 += a[i+5] * b[i+5]
+		s6 += a[i+6] * b[i+6]
+		s7 += a[i+7] * b[i+7]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+}
+
+// criticalR inverts the p-value threshold once per build: it returns the
+// smallest float64 r in [0, 1] with PValue(r, n) ≤ maxP, so the per-pair
+// significance test reduces to |r| ≥ criticalR in the pair loop. PValue is
+// monotone non-increasing in |r|, so bisection to adjacent floats finds the
+// exact admission boundary; betacf never runs per pair.
+//
+// Degenerate cases follow PValue: for n ≤ 2 every pair has p = 1, so the
+// result is 0 when maxP ≥ 1 (everything is admissible) and the unattainable
+// sentinel 2 otherwise (nothing is). maxP ≤ 0 admits only |r| = 1, whose
+// p-value is exactly 0.
+func criticalR(maxP float64, n int) float64 {
+	if n <= 2 {
+		if maxP >= 1 {
+			return 0
+		}
+		return 2
+	}
+	if PValue(0, n) <= maxP {
+		return 0
+	}
+	if PValue(1, n) > maxP {
+		return 2
+	}
+	lo, hi := 0.0, 1.0 // invariant: PValue(lo) > maxP ≥ PValue(hi)
+	for {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			return hi
+		}
+		if PValue(mid, n) <= maxP {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+}
+
+// toEdges strips the correlation coefficients for bulk staging into a
+// graph.Builder.
+func toEdges(scored []ScoredEdge) []graph.Edge {
+	edges := make([]graph.Edge, len(scored))
+	for i, se := range scored {
+		edges[i] = graph.Edge{U: se.U, V: se.V}
+	}
+	return edges
+}

@@ -1,8 +1,12 @@
 // Package expr implements the microarray side of the paper's pipeline:
-// expression matrices, Pearson correlation over all gene pairs with
+// expression matrices, all-pairs Pearson or Spearman correlation with
 // Student-t p-values, thresholding, and correlation-network construction.
-// Synthetic expression data with planted co-expressed modules substitutes
-// for the GEO datasets (GSE5078, GSE5140); see DESIGN.md.
+// Network building runs on a standardized-row engine (engine.go): rows are
+// z-scored once so each pair costs one dot product, the p-value cut is
+// inverted into a critical |r| ahead of the sweep, and cache-blocked row
+// tiles are dispatched to workers from an atomic counter. Synthetic
+// expression data with planted co-expressed modules substitutes for the
+// GEO datasets (GSE5078, GSE5140); see DESIGN.md §1 (engine: §3).
 package expr
 
 import (
@@ -10,7 +14,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"parsample/internal/graph"
 )
@@ -146,62 +149,57 @@ func betacf(a, b, x float64) float64 {
 	return h
 }
 
-// NetworkOptions controls correlation-network construction, mirroring the
-// paper: Pearson p ≤ 0.0005 and 0.95 ≤ |ρ| ≤ 1.00 by default.
+// NetworkOptions controls correlation-network construction.
+//
+// Threshold semantics: a NEGATIVE MinAbsR or MaxP selects the paper's
+// default (0.95 and 0.0005 respectively); zero and positive values are
+// honored literally, so MinAbsR = 0 (no correlation floor) and MaxP = 0
+// (admit only |r| = 1, whose p-value is exactly zero) are both
+// requestable. The zero value NetworkOptions{} therefore asks for the
+// most permissive correlation floor combined with the most stringent
+// p-value cut; callers wanting the paper's thresholds should start from
+// DefaultNetworkOptions().
 type NetworkOptions struct {
-	MinAbsR  float64 // minimum |correlation| (default 0.95)
-	MaxP     float64 // maximum p-value (default 0.0005)
-	Workers  int     // parallel workers (default GOMAXPROCS)
-	Negative bool    // if true, strong negative correlations also make edges
+	Kind     CorrelationKind // correlation statistic (default PearsonCorr)
+	MinAbsR  float64         // minimum |correlation|; negative → 0.95
+	MaxP     float64         // maximum p-value; negative → 0.0005
+	Workers  int             // parallel workers; ≤ 0 → GOMAXPROCS
+	Negative bool            // if true, strong negative correlations also make edges
 }
 
-// BuildNetwork computes all-pairs Pearson correlations in parallel and
-// returns the thresholded correlation network.
+// DefaultNetworkOptions returns the paper's configuration: Pearson
+// correlation, 0.95 ≤ |ρ| ≤ 1.00, p ≤ 0.0005, all cores.
+func DefaultNetworkOptions() NetworkOptions {
+	return NetworkOptions{Kind: PearsonCorr, MinAbsR: 0.95, MaxP: 0.0005}
+}
+
+// withDefaults resolves the negative-means-default sentinels.
+func (o NetworkOptions) withDefaults() NetworkOptions {
+	if o.MinAbsR < 0 {
+		o.MinAbsR = 0.95
+	}
+	if o.MaxP < 0 {
+		o.MaxP = 0.0005
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// BuildNetwork computes all-pairs correlations of the expression matrix and
+// returns the thresholded correlation network. The work runs on the
+// standardized-row engine (see engine.go): rows are z-scored once, each
+// pair costs one dot product, the p-value threshold is inverted into a
+// critical |r| ahead of the sweep, and cache-blocked row tiles are
+// dispatched to workers from an atomic counter. The admission rule is the
+// per-pair test (Correlate then PValue against the thresholds) exactly;
+// only the floating-point evaluation order of each coefficient differs, so
+// admission can deviate solely for a pair whose correlation sits within an
+// ulp of the threshold. The result does not depend on Workers.
 func BuildNetwork(m *Matrix, opts NetworkOptions) *graph.Graph {
-	if opts.MinAbsR == 0 {
-		opts.MinAbsR = 0.95
-	}
-	if opts.MaxP == 0 {
-		opts.MaxP = 0.0005
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-	type edgeList struct{ edges []graph.Edge }
-	results := make([]edgeList, opts.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var local []graph.Edge
-			// Strided row assignment balances the triangular loop.
-			for g1 := w; g1 < m.Genes; g1 += opts.Workers {
-				r1 := m.Row(g1)
-				for g2 := g1 + 1; g2 < m.Genes; g2++ {
-					r := Pearson(r1, m.Row(g2))
-					if !opts.Negative && r < 0 {
-						continue
-					}
-					if math.Abs(r) < opts.MinAbsR {
-						continue
-					}
-					if PValue(r, m.Samples) > opts.MaxP {
-						continue
-					}
-					local = append(local, graph.Edge{U: int32(g1), V: int32(g2)})
-				}
-			}
-			results[w] = edgeList{edges: local}
-		}(w)
-	}
-	wg.Wait()
 	b := graph.NewBuilder(m.Genes)
-	for _, r := range results {
-		for _, e := range r.edges {
-			b.AddEdge(e.U, e.V)
-		}
-	}
+	b.AddEdges(toEdges(scoredPairs(m, opts)))
 	return b.Build()
 }
 

@@ -122,6 +122,62 @@ func TestPValueAgainstKnownQuantiles(t *testing.T) {
 	}
 }
 
+// TestPValueGoldenStudentT pins PValue against published two-sided
+// Student-t critical values: for each (t*, df, α) row of the standard
+// table, the correlation r = t*/√(df + t*²) observed with n = df + 2
+// samples must have a p-value of exactly α (to the table's precision).
+func TestPValueGoldenStudentT(t *testing.T) {
+	cases := []struct {
+		tcrit float64
+		df    int
+		alpha float64
+	}{
+		{12.706205, 1, 0.05},
+		{63.656741, 1, 0.01},
+		{4.302653, 2, 0.05},
+		{2.570582, 5, 0.05},
+		{4.032143, 5, 0.01},
+		{1.812461, 10, 0.10},
+		{2.228139, 10, 0.05},
+		{3.169273, 10, 0.01},
+		{2.085963, 20, 0.05},
+		{2.845340, 20, 0.01},
+		{2.042272, 30, 0.05},
+		{1.983972, 100, 0.05},
+	}
+	for _, c := range cases {
+		df := float64(c.df)
+		r := c.tcrit / math.Sqrt(df+c.tcrit*c.tcrit)
+		p := PValue(r, c.df+2)
+		if math.Abs(p-c.alpha) > 2e-4 {
+			t.Errorf("df=%d t=%v: p = %.6f, want %.4f", c.df, c.tcrit, p, c.alpha)
+		}
+	}
+}
+
+// TestRegIncBetaGolden checks the continued-fraction evaluation against
+// closed forms: I_x(a,1) = x^a, I_x(1,b) = 1−(1−x)^b, the arcsine law for
+// a = b = ½, polynomial forms for small integer parameters, and the
+// binomial-tail identity I_x(a,b) = P(Bin(a+b−1, x) ≥ a).
+func TestRegIncBetaGolden(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{3, 1, 0.6, 0.216},        // x^a
+		{1, 4, 0.3, 0.7599},       // 1-(1-x)^b
+		{0.5, 0.5, 0.5, 0.5},      // arcsine law, symmetric point
+		{0.5, 0.5, 0.25, 1.0 / 3}, // (2/π)·asin(√¼)
+		{2, 2, 0.3, 0.216},        // 3x²-2x³
+		{3, 3, 0.5, 0.5},          // symmetry
+		{2, 3, 0.4, 0.5248},       // P(Bin(4, 0.4) ≥ 2)
+	}
+	for _, c := range cases {
+		if got := regIncBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("I_%v(%v,%v) = %.12f, want %.12f", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
 func TestRegIncBetaBounds(t *testing.T) {
 	if v := regIncBeta(2, 3, 0); v != 0 {
 		t.Fatalf("I_0 = %v", v)
@@ -199,7 +255,7 @@ func TestBuildNetworkRecoversModules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := BuildNetwork(res.M, NetworkOptions{})
+	g := BuildNetwork(res.M, DefaultNetworkOptions())
 	if g.N() != 300 {
 		t.Fatalf("network n = %d", g.N())
 	}
@@ -230,8 +286,11 @@ func TestBuildNetworkWorkerCountIrrelevant(t *testing.T) {
 	res, _ := Synthesize(SyntheticSpec{
 		Genes: 120, Samples: 25, Modules: 2, ModuleSize: 6, Noise: 0.1, Seed: 3,
 	})
-	g1 := BuildNetwork(res.M, NetworkOptions{Workers: 1})
-	g8 := BuildNetwork(res.M, NetworkOptions{Workers: 8})
+	opts := DefaultNetworkOptions()
+	opts.Workers = 1
+	g1 := BuildNetwork(res.M, opts)
+	opts.Workers = 8
+	g8 := BuildNetwork(res.M, opts)
 	if g1.M() != g8.M() {
 		t.Fatalf("worker count changed result: %d vs %d edges", g1.M(), g8.M())
 	}
@@ -249,11 +308,13 @@ func TestBuildNetworkNegativeOption(t *testing.T) {
 		m.Set(0, s, float64(s))
 		m.Set(1, s, -float64(s))
 	}
-	gPos := BuildNetwork(m, NetworkOptions{})
+	gPos := BuildNetwork(m, DefaultNetworkOptions())
 	if gPos.HasEdge(0, 1) {
 		t.Fatal("negative correlation admitted without Negative option")
 	}
-	gNeg := BuildNetwork(m, NetworkOptions{Negative: true})
+	negOpts := DefaultNetworkOptions()
+	negOpts.Negative = true
+	gNeg := BuildNetwork(m, negOpts)
 	if !gNeg.HasEdge(0, 1) {
 		t.Fatal("negative correlation not admitted with Negative option")
 	}
@@ -266,6 +327,6 @@ func BenchmarkBuildNetwork(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildNetwork(res.M, NetworkOptions{})
+		BuildNetwork(res.M, DefaultNetworkOptions())
 	}
 }

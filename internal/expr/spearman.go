@@ -19,13 +19,32 @@ func Spearman(x, y []float64) float64 {
 
 // rankVector assigns 1-based average ranks with tie handling.
 func rankVector(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var rk ranker
+	rk.rankInto(out, x)
+	return out
+}
+
+// ranker computes average-tied ranks into caller-provided storage, reusing
+// its index scratch across calls so per-row rank transforms (the Spearman
+// standardization pass) stay allocation-cheap. Not safe for concurrent use.
+type ranker struct {
+	idx []int
+}
+
+// rankInto writes the 1-based average-tied ranks of x into dst, which must
+// not alias x (tie groups are detected by re-reading x while dst is being
+// written). len(dst) must equal len(x).
+func (rk *ranker) rankInto(dst []float64, x []float64) {
 	n := len(x)
-	idx := make([]int, n)
+	if cap(rk.idx) < n {
+		rk.idx = make([]int, n)
+	}
+	idx := rk.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
-	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
 		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
@@ -33,11 +52,10 @@ func rankVector(x []float64) []float64 {
 		}
 		avg := float64(i+j)/2 + 1
 		for k := i; k <= j; k++ {
-			out[idx[k]] = avg
+			dst[idx[k]] = avg
 		}
 		i = j + 1
 	}
-	return out
 }
 
 // CorrelationKind selects the correlation statistic for network building.

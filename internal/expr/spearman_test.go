@@ -146,7 +146,9 @@ func TestThresholdSweepMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 	thresholds := []float64{0.80, 0.90, 0.95, 0.99}
-	pts := ThresholdSweep(res.M, thresholds, 0.0005, 4)
+	sweepOpts := DefaultNetworkOptions()
+	sweepOpts.Workers = 4
+	pts := ThresholdSweep(res.M, thresholds, sweepOpts)
 	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -167,7 +169,7 @@ func TestThresholdSweepMonotone(t *testing.T) {
 }
 
 func TestThresholdSweepEmpty(t *testing.T) {
-	if pts := ThresholdSweep(NewMatrix(5, 5), nil, 0.05, 1); pts != nil {
+	if pts := ThresholdSweep(NewMatrix(5, 5), nil, NetworkOptions{MaxP: 0.05, Workers: 1}); pts != nil {
 		t.Fatal("empty thresholds should give nil")
 	}
 }

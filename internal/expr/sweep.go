@@ -1,6 +1,8 @@
 package expr
 
 import (
+	"math"
+
 	"parsample/internal/graph"
 )
 
@@ -17,38 +19,39 @@ type SweepPoint struct {
 // edge-count cliff that motivates the choice (too low floods the network
 // with coincidental correlations, too high erases modules).
 //
-// All-pairs correlations are computed once and re-thresholded, so the sweep
-// costs one BuildNetwork-equivalent pass plus cheap filtering.
-func ThresholdSweep(m *Matrix, thresholds []float64, maxP float64, workers int) []SweepPoint {
+// opts selects the correlation statistic, p-value cut, worker count and
+// sign handling; its MinAbsR is ignored (the sweep's own thresholds
+// replace it). All pair correlations are computed once by the standardized
+// engine at the loosest threshold and every sweep point buckets the
+// retained coefficients — no correlation is ever recomputed per point.
+func ThresholdSweep(m *Matrix, thresholds []float64, opts NetworkOptions) []SweepPoint {
 	if len(thresholds) == 0 {
 		return nil
 	}
-	// Lowest threshold first: compute the superset network once.
-	minThresh := thresholds[0]
+	// Loosest threshold first: compute the superset edge set once. The
+	// floor is clamped to 0 — a negative |ρ| floor admits the same pairs
+	// as 0, and a negative MinAbsR would be misread by scoredPairs as the
+	// use-the-default sentinel, silently shrinking the superset.
+	opts.MinAbsR = thresholds[0]
 	for _, t := range thresholds {
-		if t < minThresh {
-			minThresh = t
+		if t < opts.MinAbsR {
+			opts.MinAbsR = t
 		}
 	}
-	base := BuildNetwork(m, NetworkOptions{MinAbsR: minThresh, MaxP: maxP, Workers: workers})
-	// Re-score the surviving edges once.
-	type scoredEdge struct {
-		e graph.Edge
-		r float64
+	if opts.MinAbsR < 0 {
+		opts.MinAbsR = 0
 	}
-	edges := make([]scoredEdge, 0, base.M())
-	base.ForEachEdge(func(u, v int32) {
-		edges = append(edges, scoredEdge{
-			e: graph.Edge{U: u, V: v},
-			r: Pearson(m.Row(int(u)), m.Row(int(v))),
-		})
-	})
+	scored := scoredPairs(m, opts) // bucketed into Builders; no need for sorted output
 	out := make([]SweepPoint, 0, len(thresholds))
 	for _, t := range thresholds {
 		b := graph.NewBuilder(m.Genes)
-		for _, se := range edges {
-			if se.r >= t {
-				b.AddEdge(se.e.U, se.e.V)
+		for _, se := range scored {
+			r := se.R
+			if opts.Negative {
+				r = math.Abs(r)
+			}
+			if r >= t {
+				b.AddEdge(se.U, se.V)
 			}
 		}
 		g := b.Build()

@@ -221,6 +221,18 @@ func (b *Builder) AddEdge(u, v int32) {
 	b.edges = append(b.edges, Edge{u, v})
 }
 
+// AddEdges stages a batch of undirected edges in one call: capacity for the
+// whole batch is reserved up front, so bulk producers (the expr correlation
+// engine, generators) avoid repeated append growth. Semantics are exactly
+// AddEdge's — self loops are skipped, duplicates are removed at Build time,
+// and an out-of-range endpoint panics.
+func (b *Builder) AddEdges(edges []Edge) {
+	b.Grow(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+}
+
 // Grow reserves staging capacity for at least m additional edges.
 func (b *Builder) Grow(m int) {
 	b.edges = slices.Grow(b.edges, m)

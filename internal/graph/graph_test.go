@@ -28,6 +28,57 @@ func TestBuilderDedup(t *testing.T) {
 	}
 }
 
+func TestBuilderAddEdgesBulk(t *testing.T) {
+	// Bulk staging must be indistinguishable from per-edge staging:
+	// same dedup, same self-loop skipping, same CSR output.
+	edges := []Edge{
+		{0, 1}, {1, 0}, {0, 1}, // duplicates both ways
+		{2, 3},
+		{1, 1}, // self loop dropped
+		{3, 4}, {2, 4},
+	}
+	bulk := NewBuilder(5)
+	bulk.AddEdges(edges)
+	gBulk := bulk.Build()
+
+	single := NewBuilder(5)
+	for _, e := range edges {
+		single.AddEdge(e.U, e.V)
+	}
+	gSingle := single.Build()
+
+	if gBulk.M() != gSingle.M() || gBulk.M() != 4 {
+		t.Fatalf("bulk M = %d, single M = %d, want 4", gBulk.M(), gSingle.M())
+	}
+	for _, e := range gSingle.Edges() {
+		if !gBulk.HasEdge(e.U, e.V) {
+			t.Fatalf("bulk graph missing edge (%d,%d)", e.U, e.V)
+		}
+	}
+	// Mixing AddEdge and AddEdges stages into the same list.
+	mixed := NewBuilder(5)
+	mixed.AddEdge(0, 1)
+	mixed.AddEdges([]Edge{{2, 3}})
+	if g := mixed.Build(); g.M() != 2 {
+		t.Fatalf("mixed staging M = %d, want 2", g.M())
+	}
+	// Empty batch is a no-op.
+	empty := NewBuilder(3)
+	empty.AddEdges(nil)
+	if g := empty.Build(); g.M() != 0 {
+		t.Fatal("empty batch added edges")
+	}
+}
+
+func TestBuilderAddEdgesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range endpoint in batch")
+		}
+	}()
+	NewBuilder(2).AddEdges([]Edge{{0, 1}, {0, 2}})
+}
+
 func TestBuilderPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {

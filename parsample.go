@@ -77,6 +77,14 @@ type (
 	ScoredCluster = analysis.ScoredCluster
 	// Matrix is a genes × samples expression matrix.
 	Matrix = expr.Matrix
+	// NetworkOptions configures correlation-network construction (statistic,
+	// thresholds, workers). Negative MinAbsR/MaxP select the paper defaults;
+	// zero is honored literally — see expr.NetworkOptions.
+	NetworkOptions = expr.NetworkOptions
+	// CorrelationKind selects Pearson or Spearman correlation.
+	CorrelationKind = expr.CorrelationKind
+	// SweepPoint is one row of a correlation-threshold sweep.
+	SweepPoint = expr.SweepPoint
 	// DAG is a GO-like ontology.
 	DAG = ontology.DAG
 	// Annotations maps genes to ontology terms.
@@ -90,6 +98,16 @@ const (
 	LowDegree   = graph.LowDegree
 	RCM         = graph.RCM
 	RandomOrder = graph.RandomOrder
+)
+
+// Correlation statistics for network construction.
+const (
+	// PearsonCorr is Pearson's product-moment correlation (the paper's
+	// choice).
+	PearsonCorr = expr.PearsonCorr
+	// SpearmanCorr is Spearman rank correlation, robust to outliers and
+	// monotone nonlinearity.
+	SpearmanCorr = expr.SpearmanCorr
 )
 
 // Sampling algorithms.
@@ -162,11 +180,25 @@ func ScoreClusters(d *DAG, a *Annotations, g *Graph, clusters []Cluster) []Score
 	return analysis.ScoreClusters(d, a, g, clusters)
 }
 
-// BuildCorrelationNetwork computes all-pairs Pearson correlations of the
-// expression matrix in parallel and thresholds them (paper defaults:
-// ρ ≥ 0.95, p ≤ 0.0005) into a network.
-func BuildCorrelationNetwork(m *Matrix, opts expr.NetworkOptions) *Graph {
+// DefaultNetworkOptions returns the paper's correlation-network
+// configuration: Pearson, ρ ≥ 0.95, p ≤ 0.0005.
+func DefaultNetworkOptions() NetworkOptions { return expr.DefaultNetworkOptions() }
+
+// BuildCorrelationNetwork computes all-pairs correlations (Pearson or
+// Spearman per opts.Kind) of the expression matrix on the standardized-row
+// engine — every gene row is z-scored once so each pair is a single dot
+// product, and the p-value cut is inverted into a critical |r| before the
+// tiled parallel sweep — then thresholds them into a network. Use
+// DefaultNetworkOptions for the paper's thresholds.
+func BuildCorrelationNetwork(m *Matrix, opts NetworkOptions) *Graph {
 	return expr.BuildNetwork(m, opts)
+}
+
+// CorrelationThresholdSweep sizes the correlation network at each |ρ|
+// threshold from one all-pairs pass (the edge-count cliff behind the
+// paper's 0.95 choice).
+func CorrelationThresholdSweep(m *Matrix, thresholds []float64, opts NetworkOptions) []SweepPoint {
+	return expr.ThresholdSweep(m, thresholds, opts)
 }
 
 // ReadNetwork parses a whitespace edge list (one "u v" pair per line, '#'

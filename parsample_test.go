@@ -65,7 +65,7 @@ func TestFacadeEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := BuildCorrelationNetwork(syn.M, expr.NetworkOptions{})
+	net := BuildCorrelationNetwork(syn.M, expr.DefaultNetworkOptions())
 	res, err := Filter(net, FilterOptions{Algorithm: ChordalSeq})
 	if err != nil {
 		t.Fatal(err)
