@@ -100,6 +100,34 @@ func BenchmarkFig10Scalability(b *testing.B) {
 	}
 }
 
+// BenchmarkScalingSweep runs the generalized scalability study (the
+// `experiments -fig scaling` sweep) on its small and synthetic inputs —
+// YNG plus the Gnm/R-MAT stress generators — across the full processor
+// range. This is the runtime's end-to-end stress: every point exercises
+// the progress engine, virtual clocks and the Gatherv merge.
+func BenchmarkScalingSweep(b *testing.B) {
+	cfg := experiments.DefaultScalingConfig()
+	// Drop CRE (the big network) so the bench stays minutes-not-hours at
+	// high -benchtime; `-fig scaling` still covers it.
+	nets := cfg.Networks[:0:0]
+	for _, n := range cfg.Networks {
+		if n.Name != "CRE" {
+			nets = append(nets, n)
+		}
+	}
+	cfg.Networks = nets
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // BenchmarkFig11ParallelQuality regenerates Figure 11 (CRE natural order:
 // 1P vs 64P cluster overlap and top clusters).
 func BenchmarkFig11ParallelQuality(b *testing.B) {

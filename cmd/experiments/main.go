@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|rw|lostfound|cliques|hubs|border|corr|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|rw|lostfound|cliques|hubs|border|corr|scaling|all")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -81,6 +81,15 @@ func main() {
 			return err
 		}
 		experiments.WriteFig11(out, ov, tops)
+		return nil
+	})
+	run("scaling", func() error {
+		experiments.Header(out, "Scalability study: P=1..64 x orderings x algorithms (modeled cluster time)")
+		rows, err := experiments.Scaling(experiments.DefaultScalingConfig())
+		if err != nil {
+			return err
+		}
+		experiments.WriteScaling(out, rows)
 		return nil
 	})
 	run("rw", func() error {

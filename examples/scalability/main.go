@@ -1,44 +1,47 @@
-// Scalability: sweep processor counts for the three parallel sampling
-// algorithms on the paper's two representative networks (YNG small, CRE
-// large) and print both the modeled cluster execution time (Figure 10) and
-// this machine's wall-clock time for the goroutine implementation.
+// Scalability: run the paper's Figure 10 processor sweep — generalized to
+// P ∈ {1..64} × vertex orderings × parallel samplers over the synthetic GSE
+// networks plus Gnm/R-MAT stress inputs — on the simulated MPI runtime, and
+// print the modeled cluster execution times, speedups and efficiency, plus
+// this machine's wall-clock time for each goroutine run.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
-	"parsample/internal/datasets"
 	"parsample/internal/experiments"
 	"parsample/internal/graph"
 	"parsample/internal/sampling"
 )
 
 func main() {
-	model := experiments.Fig10CostModel()
-	algs := []sampling.Algorithm{
-		sampling.ChordalComm, sampling.ChordalNoComm, sampling.RandomWalkPar,
+	cfg := experiments.DefaultScalingConfig()
+
+	// The full sweep table, exactly what `experiments -fig scaling` prints.
+	rows, err := experiments.Scaling(cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, ds := range []*datasets.Dataset{datasets.YNG(), datasets.CRE()} {
-		fmt.Printf("\n%s: %d vertices, %d edges\n", ds.Name, ds.G.N(), ds.G.M())
-		fmt.Printf("%-16s %4s  %12s  %10s  %8s  %8s\n",
-			"algorithm", "P", "modeled(s)", "wall(ms)", "msgs", "edges")
-		ord := graph.Order(ds.G, graph.Natural, ds.Seed)
-		for _, alg := range algs {
-			for _, p := range experiments.Fig10Processors {
-				t0 := time.Now()
-				res, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
-				if err != nil {
-					log.Fatal(err)
-				}
-				wall := time.Since(t0)
-				fmt.Printf("%-16s %4d  %12.4f  %10.2f  %8d  %8d\n",
-					alg, p, model.Time(&res.Stats), float64(wall.Microseconds())/1000,
-					res.Stats.Messages, res.Edges.Len())
-			}
+	experiments.WriteScaling(os.Stdout, rows)
+
+	// Modeled vs actual: one series re-run with wall-clock timing, to make
+	// the point that the modeled seconds are cluster time, not the time the
+	// goroutine simulation takes on this machine.
+	net := cfg.Networks[0]
+	fmt.Printf("\n%s, natural order, chordal-nocomm: modeled cluster time vs this machine\n", net.Name)
+	fmt.Printf("%4s  %12s  %10s\n", "P", "modeled(s)", "wall(ms)")
+	ord := graph.Order(net.G, graph.Natural, net.Seed)
+	for _, p := range cfg.Processors {
+		t0 := time.Now()
+		res, err := sampling.Run(sampling.ChordalNoComm, net.G, sampling.Options{
+			Order: ord, P: p, Seed: net.Seed, Model: &cfg.Model,
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
+		fmt.Printf("%4d  %12.4f  %10.2f\n",
+			p, cfg.Model.Time(&res.Stats), float64(time.Since(t0).Microseconds())/1000)
 	}
-	fmt.Println("\nmodeled(s): distributed-memory cluster time from the Figure 10 cost model")
-	fmt.Println("wall(ms):   actual goroutine wall time on this machine")
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsample/internal/graph"
+	"parsample/internal/sampling"
+)
+
+// smallScalingConfig keeps the sweep test-sized: one synthetic modular
+// network, two orderings, the two chordal variants, a short processor list.
+func smallScalingConfig() ScalingConfig {
+	g := graph.PlantedModules(800, 1400, graph.ModuleSpec{
+		Count: 16, MinSize: 8, MaxSize: 12, Density: 0.9, NoiseDeg: 1, Window: 3,
+	}, 23).G
+	return ScalingConfig{
+		Networks:   []ScalingNetwork{{Name: "TST", G: g, Seed: 23}},
+		Orderings:  []graph.Ordering{graph.Natural, graph.HighDegree},
+		Algorithms: []sampling.Algorithm{sampling.ChordalComm, sampling.ChordalNoComm},
+		Processors: []int{1, 2, 4, 8},
+		Model:      fig10Model,
+	}
+}
+
+func TestScalingSweep(t *testing.T) {
+	cfg := smallScalingConfig()
+	rows, err := Scaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.Networks) * len(cfg.Orderings) * len(cfg.Algorithms) * len(cfg.Processors)
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	get := func(ord, alg string, p int) ScalingRow {
+		for _, r := range rows {
+			if r.Ordering == ord && r.Algorithm == alg && r.P == p {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s P=%d", ord, alg, p)
+		return ScalingRow{}
+	}
+	for _, ord := range []string{"NO", "HD"} {
+		for _, p := range cfg.Processors {
+			nc := get(ord, "chordal-nocomm", p)
+			cm := get(ord, "chordal-comm", p)
+			if p == 1 {
+				if nc.Speedup != 1 || nc.Efficiency != 1 {
+					t.Fatalf("%s P=1 baseline speedup %.2f eff %.2f", ord, nc.Speedup, nc.Efficiency)
+				}
+				continue
+			}
+			// The paper's Figure 10 claim, now from the clocked runtime: the
+			// communication-free variant dominates the border-exchange one.
+			if nc.ModeledSeconds >= cm.ModeledSeconds {
+				t.Fatalf("%s P=%d: nocomm %.4fs not below comm %.4fs",
+					ord, p, nc.ModeledSeconds, cm.ModeledSeconds)
+			}
+			if cm.Messages == 0 || nc.Messages != 0 {
+				t.Fatalf("%s P=%d: p2p accounting wrong (comm %d, nocomm %d)",
+					ord, p, cm.Messages, nc.Messages)
+			}
+			// Both variants gather partial results through the collective.
+			if nc.CollMessages != int64(p-1) || cm.CollMessages != int64(p-1) {
+				t.Fatalf("%s P=%d: gather accounting wrong (%d/%d)",
+					ord, p, nc.CollMessages, cm.CollMessages)
+			}
+		}
+		// Speedup is relative to the first processor count and grows for
+		// the communication-free variant on a modular network.
+		if s := get(ord, "chordal-nocomm", 8).Speedup; s <= 1.5 {
+			t.Fatalf("%s: nocomm speedup at P=8 only %.2f", ord, s)
+		}
+	}
+	// Determinism: the whole sweep reproduces bit-for-bit.
+	again, err := Scaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d not reproducible: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}
+
+func TestWriteScaling(t *testing.T) {
+	rows, err := Scaling(smallScalingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteScaling(&buf, rows)
+	out := buf.String()
+	for _, needle := range []string{"speedup", "efficiency", "speedup curves", "chordal-nocomm"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("render missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestSpeedupBar(t *testing.T) {
+	if speedupBar(0.5) != "." {
+		t.Fatal("sub-baseline should render as '.'")
+	}
+	if speedupBar(1) != "▏" || speedupBar(16) != "█" || speedupBar(1000) != "█" {
+		t.Fatal("bar scale endpoints wrong")
+	}
+}

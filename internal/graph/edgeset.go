@@ -15,6 +15,18 @@ func KeyEdge(k uint64) Edge {
 	return Edge{int32(k >> 32), int32(k & 0xffffffff)}
 }
 
+// SplitMix64 applies the SplitMix64 finalizer, the standard 64-bit mix for
+// deriving independent deterministic streams from seeds and keys (used by
+// the border-edge coin and the facade's per-purpose seed split).
+func SplitMix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // EdgeView is the read side of an edge container: the hash set (EdgeSet),
 // the dense bitset matrix (DenseEdgeSet) and the flat list (EdgeList) all
 // satisfy it. Filter results are exposed through this interface so a kernel

@@ -1,12 +1,32 @@
-// Package mpisim is a small simulated distributed-memory runtime. The paper
-// ran on the Firefly MPI cluster with 1–64 processors; here each rank is a
-// goroutine with point-to-point mailboxes, and all traffic is counted so a
-// latency/bandwidth cost model can translate measured per-rank work into
-// modeled cluster execution time (used to regenerate Figure 10's shape).
+// Package mpisim is a deadlock-free simulated distributed-memory runtime.
+// The paper ran on the Firefly MPI cluster with 1–64 processors; here each
+// rank is a goroutine driven through a *Rank handle, point-to-point sends
+// are nonblocking posts into unbounded per-pair queues, and collectives
+// (Bcast, Gatherv, Allreduce, Barrier) rendezvous through a generation-
+// counted exchange area. Every rank carries a virtual clock in modeled
+// seconds: compute is charged explicitly (Rank.Compute), sends stamp each
+// message with its modeled arrival time, and receives advance the clock to
+// that arrival — so after a run the per-rank clocks give the critical path
+// (max over ranks of compute plus waited-on communication) that
+// CostModel.Time reports for the Figure 10 scalability study.
+//
+// Deadlock freedom: a send can never block (queues are unbounded), so any
+// run in which every receive is eventually matched by a send terminates.
+// The earlier runtime used 64-deep bounded mailboxes, which wedged the
+// border-exchange chordal sampler at P ≥ 3 once a partition pair carried
+// more than ~4096 mutual border edges (sender chains filled each other's
+// mailboxes before anyone reached its receive loop).
+//
+// Determinism: virtual time, not wall time, decides delivery order.
+// AnyRecv waits until every candidate source has a pending message and
+// then delivers the one with the smallest modeled arrival stamp (sender
+// rank breaks ties), so results and modeled clocks are identical across
+// runs and GOMAXPROCS settings.
 package mpisim
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -16,101 +36,443 @@ type Message struct {
 	From    int
 	Tag     int
 	Payload any
-	Bytes   int // accounted payload size
+	Bytes   int     // accounted payload size
+	Arrive  float64 // modeled arrival time at the receiver (seconds)
 }
 
 // Comm is a communicator over P simulated ranks.
 type Comm struct {
 	p     int
-	boxes [][]chan Message // boxes[to][from]
-	bar   *barrier
+	model CostModel
+	ranks []*Rank
+	boxes []*inbox // boxes[to]
+	coll  *collective
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
+
+	collMsgs  atomic.Int64
+	collBytes atomic.Int64
 }
 
-// NewComm creates a communicator for p ranks with buffered mailboxes.
-func NewComm(p int) *Comm {
+// NewComm creates a communicator for p ranks using DefaultCostModel for the
+// virtual clocks.
+func NewComm(p int) *Comm { return NewCommModel(p, DefaultCostModel()) }
+
+// NewCommModel creates a communicator for p ranks whose virtual clocks
+// advance under the given cost model.
+func NewCommModel(p int, m CostModel) *Comm {
 	if p < 1 {
 		panic(fmt.Sprintf("mpisim: p = %d", p))
 	}
-	c := &Comm{p: p, bar: newBarrier(p)}
-	c.boxes = make([][]chan Message, p)
-	for to := 0; to < p; to++ {
-		c.boxes[to] = make([]chan Message, p)
-		for from := 0; from < p; from++ {
-			c.boxes[to][from] = make(chan Message, 64)
-		}
+	c := &Comm{p: p, model: m}
+	c.ranks = make([]*Rank, p)
+	c.boxes = make([]*inbox, p)
+	for r := 0; r < p; r++ {
+		c.ranks[r] = &Rank{c: c, id: r}
+		c.boxes[r] = newInbox(p)
 	}
+	c.coll = newCollective(p)
 	return c
 }
 
 // P returns the number of ranks.
 func (c *Comm) P() int { return c.p }
 
-// Send delivers a message from rank `from` to rank `to`. Blocking only when
-// the (buffered) mailbox is full.
-func (c *Comm) Send(from, to, tag int, payload any, size int) {
-	c.msgs.Add(1)
-	c.bytes.Add(int64(size))
-	c.boxes[to][from] <- Message{From: from, Tag: tag, Payload: payload, Bytes: size}
-}
-
-// Recv blocks until a message from rank `from` arrives at rank `to`.
-func (c *Comm) Recv(to, from int) Message {
-	return <-c.boxes[to][from]
-}
-
-// Barrier blocks until all p ranks have called it.
-func (c *Comm) Barrier() { c.bar.wait() }
-
 // Messages returns the total number of point-to-point messages sent.
 func (c *Comm) Messages() int64 { return c.msgs.Load() }
 
-// Bytes returns the total payload bytes sent.
+// Bytes returns the total point-to-point payload bytes sent.
 func (c *Comm) Bytes() int64 { return c.bytes.Load() }
 
+// CollMessages returns the modeled message count of the collectives.
+func (c *Comm) CollMessages() int64 { return c.collMsgs.Load() }
+
+// CollBytes returns the modeled payload bytes moved by the collectives.
+func (c *Comm) CollBytes() int64 { return c.collBytes.Load() }
+
 // Run launches fn on every rank concurrently and waits for completion.
-func (c *Comm) Run(fn func(rank int)) {
+func (c *Comm) Run(fn func(r *Rank)) {
 	var wg sync.WaitGroup
 	wg.Add(c.p)
 	for r := 0; r < c.p; r++ {
-		go func(rank int) {
+		go func(rk *Rank) {
 			defer wg.Done()
-			fn(rank)
-		}(r)
+			fn(rk)
+		}(c.ranks[r])
 	}
 	wg.Wait()
 }
 
-// barrier is a reusable P-party barrier.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	p     int
-	count int
-	phase int
+// FillStats copies the run's accounting into s: per-rank operation counts
+// and virtual clocks, point-to-point traffic, and collective traffic.
+func (c *Comm) FillStats(s *RunStats) {
+	s.P = c.p
+	s.RankOps = make([]int64, c.p)
+	s.RankSeconds = make([]float64, c.p)
+	for i, r := range c.ranks {
+		s.RankOps[i] = r.ops
+		s.RankSeconds[i] = r.clock
+	}
+	s.Messages = c.msgs.Load()
+	s.Bytes = c.bytes.Load()
+	s.CollMessages = c.collMsgs.Load()
+	s.CollBytes = c.collBytes.Load()
 }
 
-func newBarrier(p int) *barrier {
-	b := &barrier{p: p}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+// Rank is one simulated processor's handle inside Comm.Run. All methods
+// must be called only from the goroutine the handle was passed to.
+type Rank struct {
+	c     *Comm
+	id    int
+	ops   int64
+	clock float64
 }
 
-func (b *barrier) wait() {
-	b.mu.Lock()
-	phase := b.phase
-	b.count++
-	if b.count == b.p {
-		b.count = 0
-		b.phase++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
+// ID returns this rank's index in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// P returns the communicator size.
+func (r *Rank) P() int { return r.c.p }
+
+// Ops returns the operations charged so far via Compute.
+func (r *Rank) Ops() int64 { return r.ops }
+
+// Clock returns the rank's virtual time in modeled seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Compute charges n elementary operations of local work, advancing the
+// virtual clock by n·SecondsPerOp.
+func (r *Rank) Compute(n int64) {
+	r.ops += n
+	r.clock += float64(n) * r.c.model.SecondsPerOp
+}
+
+// Send posts a message to rank `to`. It never blocks: the per-pair queue is
+// unbounded, so no send/receive ordering can deadlock the run. The sender's
+// clock pays the per-message overhead; the message is stamped with its
+// modeled arrival time (send time + latency + bytes/bandwidth).
+func (r *Rank) Send(to, tag int, payload any, size int) {
+	if to == r.id || to < 0 || to >= r.c.p {
+		panic(fmt.Sprintf("mpisim: rank %d sending to %d", r.id, to))
 	}
-	for phase == b.phase {
-		b.cond.Wait()
+	m := r.c.model
+	r.clock += m.OverheadSeconds
+	arrive := r.clock + m.LatencySeconds + float64(size)*m.SecondsPerByte
+	r.c.msgs.Add(1)
+	r.c.bytes.Add(int64(size))
+	bx := r.c.boxes[to]
+	bx.mu.Lock()
+	bx.q[r.id] = append(bx.q[r.id], Message{From: r.id, Tag: tag, Payload: payload, Bytes: size, Arrive: arrive})
+	bx.cond.Broadcast()
+	bx.mu.Unlock()
+}
+
+// Recv blocks until a message from rank `from` is pending and returns the
+// oldest one. The receiver's clock advances to the message's arrival time
+// (if it was not already past it) plus the per-message overhead.
+func (r *Rank) Recv(from int) Message {
+	bx := r.c.boxes[r.id]
+	bx.mu.Lock()
+	for len(bx.q[from]) == 0 {
+		bx.cond.Wait()
 	}
-	b.mu.Unlock()
+	msg := bx.pop(from)
+	bx.mu.Unlock()
+	r.arriveAt(msg.Arrive)
+	return msg
+}
+
+// AnyRecv receives from any of the given sources: it returns the pending
+// message with the smallest modeled arrival time (sender rank breaks
+// ties). To keep delivery deterministic it waits until every listed source
+// has at least one pending message — only then is the earliest virtual
+// arrival decidable. Callers drop a source from the set once its
+// end-of-stream message arrives.
+func (r *Rank) AnyRecv(sources []int) Message {
+	if len(sources) == 0 {
+		panic("mpisim: AnyRecv with no sources")
+	}
+	bx := r.c.boxes[r.id]
+	bx.mu.Lock()
+	for {
+		ready := true
+		for _, s := range sources {
+			if len(bx.q[s]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		bx.cond.Wait()
+	}
+	best := sources[0]
+	for _, s := range sources[1:] {
+		h, b := bx.q[s][0], bx.q[best][0]
+		if h.Arrive < b.Arrive || (h.Arrive == b.Arrive && s < best) {
+			best = s
+		}
+	}
+	msg := bx.pop(best)
+	bx.mu.Unlock()
+	r.arriveAt(msg.Arrive)
+	return msg
+}
+
+// Sendrecv posts the send (never blocking) and then receives from `from` —
+// the classic exchange primitive that is deadlock-safe even when every rank
+// calls it simultaneously toward every other.
+func (r *Rank) Sendrecv(to, tag int, payload any, size int, from int) Message {
+	r.Send(to, tag, payload, size)
+	return r.Recv(from)
+}
+
+func (r *Rank) arriveAt(t float64) {
+	if t > r.clock {
+		r.clock = t
+	}
+	r.clock += r.c.model.OverheadSeconds
+}
+
+// ------------------------------------------------------------- collectives
+
+// hops is the depth of a binomial tree over p ranks: ceil(log2 p).
+func hops(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(bits.Len(uint(p - 1)))
+}
+
+// Barrier blocks until all P ranks have called it; every clock advances to
+// the latest arrival plus a dissemination round of log2(P) latencies.
+func (r *Rank) Barrier() {
+	res := r.c.coll.exchange(r, nil, 0)
+	t := maxFloat(res.clocks) + hops(r.c.p)*r.c.model.LatencySeconds
+	if t > r.clock {
+		r.clock = t
+	}
+}
+
+// Bcast broadcasts root's payload to every rank (each caller passes its own
+// payload; only root's is delivered) and returns it. Modeled as a binomial
+// tree: non-root ranks advance to root's send time plus log2(P) hops of
+// latency, overhead and transfer.
+func (r *Rank) Bcast(root int, payload any, size int) any {
+	c := r.c
+	res := c.coll.exchange(r, payload, size)
+	val, sz := res.vals[root], res.sizes[root]
+	h := hops(c.p)
+	m := c.model
+	if r.id == root {
+		if c.p > 1 {
+			r.clock += m.OverheadSeconds
+			c.collMsgs.Add(int64(c.p - 1))
+			c.collBytes.Add(int64((c.p - 1) * sz))
+		}
+	} else {
+		// Pipelined binomial tree, mirroring Gatherv: hops of wire latency
+		// and transfer, endpoint overheads once.
+		t := res.clocks[root] + h*(m.LatencySeconds+float64(sz)*m.SecondsPerByte) + 2*m.OverheadSeconds
+		if t > r.clock {
+			r.clock = t
+		}
+	}
+	return val
+}
+
+// Gatherv gathers every rank's (variable-size) payload to root. At root the
+// returned slice holds rank i's payload at index i; every other rank gets
+// nil. Modeled as a binomial gather tree: root's clock advances to the
+// latest contributor plus log2(P) latency hops and the serialized transfer
+// of all non-root bytes; contributors just pay their send overhead.
+func (r *Rank) Gatherv(root int, payload any, size int) []any {
+	c := r.c
+	res := c.coll.exchange(r, payload, size)
+	if c.p == 1 {
+		return []any{res.vals[0]}
+	}
+	m := c.model
+	if r.id != root {
+		r.clock += m.OverheadSeconds
+		return nil
+	}
+	latest, total := r.clock, 0
+	for i := 0; i < c.p; i++ {
+		if i == root {
+			continue
+		}
+		total += res.sizes[i]
+		if t := res.clocks[i] + m.OverheadSeconds; t > latest {
+			latest = t
+		}
+	}
+	// Pipelined binomial tree: intermediate ranks aggregate and forward, so
+	// the root sees log2(P) large messages whose per-message overhead
+	// overlaps with the transfers — the endpoints pay one overhead each and
+	// the wire serializes all contributed bytes once.
+	t := latest + hops(c.p)*m.LatencySeconds + 2*m.OverheadSeconds + float64(total)*m.SecondsPerByte
+	if t > r.clock {
+		r.clock = t
+	}
+	if c.p > 1 {
+		c.collMsgs.Add(int64(c.p - 1))
+		c.collBytes.Add(int64(total))
+	}
+	out := make([]any, c.p)
+	copy(out, res.vals)
+	return out
+}
+
+// ReduceOp selects the Allreduce combiner.
+type ReduceOp int
+
+const (
+	// ReduceSum adds contributions.
+	ReduceSum ReduceOp = iota
+	// ReduceMax keeps the maximum contribution.
+	ReduceMax
+	// ReduceMin keeps the minimum contribution.
+	ReduceMin
+)
+
+// Allreduce combines every rank's contribution with op and returns the
+// result on all ranks. The fold runs in rank order on each rank, so the
+// result is bitwise identical everywhere regardless of scheduling. Modeled
+// as a butterfly: log2(P) rounds of latency, two overheads and one word.
+func (r *Rank) Allreduce(v float64, op ReduceOp) float64 {
+	c := r.c
+	res := c.coll.exchange(r, v, 8)
+	out := res.vals[0].(float64)
+	for i := 1; i < c.p; i++ {
+		x := res.vals[i].(float64)
+		switch op {
+		case ReduceSum:
+			out += x
+		case ReduceMax:
+			if x > out {
+				out = x
+			}
+		case ReduceMin:
+			if x < out {
+				out = x
+			}
+		default:
+			panic(fmt.Sprintf("mpisim: unknown reduce op %d", int(op)))
+		}
+	}
+	m := c.model
+	t := maxFloat(res.clocks) + hops(c.p)*(m.LatencySeconds+2*m.OverheadSeconds+8*m.SecondsPerByte)
+	if t > r.clock {
+		r.clock = t
+	}
+	if r.id == 0 && c.p > 1 {
+		c.collMsgs.Add(int64(2 * (c.p - 1)))
+		c.collBytes.Add(int64(16 * (c.p - 1)))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- plumbing
+
+// inbox is one receiver's set of unbounded per-source FIFO queues. The
+// single condition variable is the runtime's progress engine: senders post
+// and broadcast; receivers sleep until the queues they care about can
+// satisfy their (deterministic) delivery rule.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    [][]Message // q[from]
+}
+
+func newInbox(p int) *inbox {
+	bx := &inbox{q: make([][]Message, p)}
+	bx.cond = sync.NewCond(&bx.mu)
+	return bx
+}
+
+// pop removes and returns the head of q[from]; caller holds mu.
+func (bx *inbox) pop(from int) Message {
+	msg := bx.q[from][0]
+	bx.q[from][0] = Message{} // release the payload
+	bx.q[from] = bx.q[from][1:]
+	if len(bx.q[from]) == 0 {
+		bx.q[from] = nil // let the grown backing array go
+	}
+	return msg
+}
+
+// collective is the generation-counted rendezvous area behind the
+// collectives: every rank deposits (value, size, clock); the last arriver
+// snapshots the generation's vectors, resets the area and wakes the rest.
+type collective struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	gen    uint64
+	count  int
+	vals   []any
+	sizes  []int
+	clocks []float64
+	result *collResult
+}
+
+type collResult struct {
+	vals   []any
+	sizes  []int
+	clocks []float64
+}
+
+func newCollective(p int) *collective {
+	cl := &collective{
+		vals:   make([]any, p),
+		sizes:  make([]int, p),
+		clocks: make([]float64, p),
+	}
+	cl.cond = sync.NewCond(&cl.mu)
+	return cl
+}
+
+// exchange performs an all-gather of (val, size, clock) with barrier
+// semantics and returns the completed generation's snapshot.
+func (cl *collective) exchange(r *Rank, val any, size int) *collResult {
+	cl.mu.Lock()
+	cl.vals[r.id] = val
+	cl.sizes[r.id] = size
+	cl.clocks[r.id] = r.clock
+	cl.count++
+	gen := cl.gen
+	if cl.count == len(cl.vals) {
+		res := &collResult{
+			vals:   append([]any(nil), cl.vals...),
+			sizes:  append([]int(nil), cl.sizes...),
+			clocks: append([]float64(nil), cl.clocks...),
+		}
+		cl.result = res
+		cl.count = 0
+		cl.gen++
+		for i := range cl.vals {
+			cl.vals[i] = nil
+		}
+		cl.cond.Broadcast()
+		cl.mu.Unlock()
+		return res
+	}
+	for gen == cl.gen {
+		cl.cond.Wait()
+	}
+	res := cl.result
+	cl.mu.Unlock()
+	return res
+}
+
+func maxFloat(xs []float64) float64 {
+	mx := 0.0
+	for _, x := range xs {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
 }

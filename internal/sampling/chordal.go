@@ -38,13 +38,16 @@ func localChordal(g *graph.Graph, block []int32, out graph.EdgeCollection) int64
 // over internal edges; Step 3: a pair of border edges (a,x),(b,x) incident on
 // an external vertex x is admitted iff the local edge (a,b) is a chordal
 // edge — the triangle rule. Both sides of a border may admit the same edge;
-// duplicates are removed in the sequential merge.
+// duplicates are removed in the sequential merge. The sampling phase sends
+// no point-to-point messages; partial results reach the merge through one
+// Gatherv.
 func chordalNoComm(g *graph.Graph, opts Options) *Result {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	parts := make([]rankResult, p)
-	comm := mpisim.NewComm(p) // used only for its Run helper; no messages
-	comm.Run(func(rank int) {
+	comm := newComm(opts, p)
+	comm.Run(func(r *mpisim.Rank) {
+		rank := r.ID()
 		block := pt.Parts[rank]
 		local := graph.NewAccumulator(g.N(), 0)
 		ops := localChordal(g, block, local)
@@ -80,11 +83,11 @@ func chordalNoComm(g *graph.Graph, opts Options) *Result {
 			}
 			lo = hi
 		}
-		parts[rank] = rankResult{edges: local, ops: ops}
+		r.Compute(ops)
+		gatherParts(r, rankResult{edges: local}, parts)
 	})
 	_, border := pt.InternalEdgeCount(g)
-	res := mergeRanks(ChordalNoComm, g.N(), parts, border)
-	return res
+	return mergeRanks(ChordalNoComm, g.N(), parts, border, comm)
 }
 
 // sortByExternal sorts border records by their external endpoint (U), with
@@ -98,12 +101,14 @@ func sortByExternal(es []graph.Edge) {
 	})
 }
 
-// borderMsg is the payload exchanged by chordalWithComm.
+// borderMsg is the payload exchanged by chordalWithComm. An empty edge list
+// is the end-of-stream sentinel.
 type borderMsg struct{ edges []graph.Edge }
 
 // msgChunk is the number of border edges carried per message; smaller chunks
-// make the message count (and therefore the modeled latency cost) scale with
-// the border size b, matching the paper's O(b²/d) communication analysis.
+// make the message count (and therefore the modeled overhead/latency cost)
+// scale with the border size b, matching the paper's O(b²/d) communication
+// analysis.
 const msgChunk = 64
 
 // chordalWithComm reproduces the earlier (HPCS/ICCS 2011) parallel chordal
@@ -113,11 +118,17 @@ const msgChunk = 64
 // subgraph (local chordal edges + previously accepted border edges) stays
 // chordal — a per-candidate chordality test over the involved region, which
 // is where the O(b²/d) cost and the poor small-graph scalability come from.
+//
+// Sends are nonblocking posts into the runtime's unbounded queues and the
+// receive loop drains partners through AnyRecv in modeled-arrival order, so
+// no border volume can deadlock the run (the earlier bounded-mailbox runtime
+// wedged at P ≥ 3 once any partition pair carried more than ~4096 mutual
+// border edges).
 func chordalWithComm(g *graph.Graph, opts Options) *Result {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	parts := make([]rankResult, p)
-	comm := mpisim.NewComm(p)
+	comm := newComm(opts, p)
 
 	// Precompute, per ordered pair (sender < receiver), the mutual border
 	// edges as seen from the sender side.
@@ -137,90 +148,105 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 		pairEdges[lo][hi] = append(pairEdges[lo][hi], graph.Edge{U: u, V: v})
 	})
 
-	comm.Run(func(rank int) {
+	comm.Run(func(r *mpisim.Rank) {
+		rank := r.ID()
 		block := pt.Parts[rank]
 		local := graph.NewAccumulator(g.N(), 0)
-		ops := localChordal(g, block, local)
+		r.Compute(localChordal(g, block, local))
 
-		// Send mutual border edges to every higher-ranked partner, chunked.
+		// Send mutual border edges to every higher-ranked partner sharing a
+		// border, chunked, with an end-of-stream sentinel. Sends never
+		// block, so the whole exchange is posted before the receive loop.
 		for recv := rank + 1; recv < p; recv++ {
 			edges := pairEdges[rank][recv]
+			if len(edges) == 0 {
+				continue
+			}
 			for lo := 0; lo < len(edges); lo += msgChunk {
 				hi := lo + msgChunk
 				if hi > len(edges) {
 					hi = len(edges)
 				}
 				chunk := edges[lo:hi]
-				comm.Send(rank, recv, recv, borderMsg{edges: chunk}, 8*len(chunk))
+				r.Send(recv, recv, borderMsg{edges: chunk}, 8*len(chunk))
 			}
-			// Sentinel end-of-stream message.
-			comm.Send(rank, recv, recv, borderMsg{}, 0)
+			r.Send(recv, recv, borderMsg{}, 0)
 		}
 
-		// Receive candidate border edges from every lower-ranked partner and
-		// accept those that keep the receiver's subgraph chordal. The test is
-		// incremental: an external vertex u may connect to a set of local
-		// vertices only if that set is a clique in the local chordal
-		// subgraph (attaching a vertex whose neighborhood is a clique
-		// preserves chordality). Scanning u's previously accepted neighbors
-		// for every candidate is where the paper's O(b²/d) receiver cost
-		// comes from.
-		// accepted border edges, grouped by external vertex. The accepted
-		// neighbor lists are kept in a per-rank slice table indexed by
-		// external vertex id lazily via a stamp array — no hash map.
+		// Receive candidate border edges from every lower-ranked partner
+		// sharing a border, in modeled-arrival order, and accept those that
+		// keep the receiver's subgraph chordal. The test is incremental: an
+		// external vertex u may connect to a set of local vertices only if
+		// that set is a clique in the local chordal subgraph (attaching a
+		// vertex whose neighborhood is a clique preserves chordality).
+		// Scanning u's previously accepted neighbors for every candidate is
+		// where the paper's O(b²/d) receiver cost comes from.
+		// Accepted border edges are grouped by external vertex in a per-rank
+		// slice table indexed lazily via a stamp array — no hash map.
 		accepted := graph.NewAccumulator(g.N(), 0)
 		acceptedNbrs := make([][]int32, 0, 16) // compact storage, see extSlot
 		extSlot := make([]int32, g.N())        // external vertex -> slot+1 (0 = none)
+		var sources []int
 		for send := 0; send < rank; send++ {
-			for {
-				msg := comm.Recv(rank, send)
-				bm := msg.Payload.(borderMsg)
-				if len(bm.edges) == 0 {
-					break
-				}
-				for _, e := range bm.edges {
-					ext, loc := e.U, e.V
-					if pt.Part[ext] == int32(rank) {
-						ext, loc = loc, ext
-					}
-					slot := extSlot[ext]
-					var bu []int32
-					if slot > 0 {
-						bu = acceptedNbrs[slot-1]
-					}
-					ok := true
-					for _, w := range bu {
-						ops++
-						if !local.Has(w, loc) {
-							ok = false
-							break
-						}
-					}
-					// The receiver also verifies the candidate against its
-					// local adjacency structure (re-examination of border
-					// edges is the extra compute the paper attributes to
-					// the communicating version — roughly 2× at P=2 on the
-					// large network).
-					ops += int64(g.Degree(loc)) + 1
-					if ok {
-						accepted.Add(ext, loc)
-						if slot == 0 {
-							acceptedNbrs = append(acceptedNbrs, nil)
-							slot = int32(len(acceptedNbrs))
-							extSlot[ext] = slot
-						}
-						acceptedNbrs[slot-1] = append(acceptedNbrs[slot-1], loc)
-					}
-				}
+			if len(pairEdges[send][rank]) > 0 {
+				sources = append(sources, send)
 			}
 		}
+		for len(sources) > 0 {
+			msg := r.AnyRecv(sources)
+			bm := msg.Payload.(borderMsg)
+			if len(bm.edges) == 0 {
+				for i, s := range sources {
+					if s == msg.From {
+						sources = append(sources[:i], sources[i+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			var ops int64
+			for _, e := range bm.edges {
+				ext, loc := e.U, e.V
+				if pt.Part[ext] == int32(rank) {
+					ext, loc = loc, ext
+				}
+				slot := extSlot[ext]
+				var bu []int32
+				if slot > 0 {
+					bu = acceptedNbrs[slot-1]
+				}
+				ok := true
+				for _, w := range bu {
+					ops++
+					if !local.Has(w, loc) {
+						ok = false
+						break
+					}
+				}
+				// The receiver also verifies the candidate against its
+				// local adjacency structure (re-examination of border
+				// edges is the extra compute the paper attributes to
+				// the communicating version — roughly 2× at P=2 on the
+				// large network).
+				ops += int64(g.Degree(loc)) + 1
+				if ok {
+					accepted.Add(ext, loc)
+					if slot == 0 {
+						acceptedNbrs = append(acceptedNbrs, nil)
+						slot = int32(len(acceptedNbrs))
+						extSlot[ext] = slot
+					}
+					acceptedNbrs[slot-1] = append(acceptedNbrs[slot-1], loc)
+				}
+			}
+			// Charge the per-message candidate processing as it happens, so
+			// the virtual clock interleaves compute with the waits.
+			r.Compute(ops)
+		}
 		accepted.ForEach(local.Add)
-		parts[rank] = rankResult{edges: local, ops: ops}
+		gatherParts(r, rankResult{edges: local}, parts)
 	})
 
 	_, border := pt.InternalEdgeCount(g)
-	res := mergeRanks(ChordalComm, g.N(), parts, border)
-	res.Stats.Messages = comm.Messages()
-	res.Stats.Bytes = comm.Bytes()
-	return res
+	return mergeRanks(ChordalComm, g.N(), parts, border, comm)
 }

@@ -94,14 +94,16 @@ const defaultForwardProb = 0.7
 
 // forestFireParallel partitions the network like the other parallel filters:
 // local fires over internal edges, hash-coin admission for border edges
-// (communication-free, like the parallel random walk).
+// (communication-free, like the parallel random walk); partial results reach
+// the merge rank through one Gatherv.
 func forestFireParallel(g *graph.Graph, opts Options) *Result {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	internal, border := pt.InternalEdgeCount(g)
 	parts := make([]rankResult, p)
-	comm := mpisim.NewComm(p)
-	comm.Run(func(rank int) {
+	comm := newComm(opts, p)
+	comm.Run(func(r *mpisim.Rank) {
+		rank := r.ID()
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*104729))
 		block := pt.Parts[rank]
 		nb := func(v int32) []int32 {
@@ -125,7 +127,8 @@ func forestFireParallel(g *graph.Graph, opts Options) *Result {
 				}
 			}
 		}
-		parts[rank] = rankResult{edges: set, ops: ops}
+		r.Compute(ops)
+		gatherParts(r, rankResult{edges: set}, parts)
 	})
-	return mergeRanks(ForestFirePar, g.N(), parts, border)
+	return mergeRanks(ForestFirePar, g.N(), parts, border, comm)
 }

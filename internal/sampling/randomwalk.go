@@ -16,20 +16,24 @@ import (
 //
 // neighbors(v) returns the eligible neighbor list of v; verts is the pool of
 // restart vertices. Selected edges accumulate into set.
+//
+// Only successful selections are charged as compute ops; restarts are
+// counted separately so dead-end retries on sparse partitions do not
+// inflate the modeled per-rank work (they still show up in
+// RunStats.Restarts for diagnostics).
 func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
-	rng *rand.Rand, set graph.EdgeCollection) int64 {
-	var ops int64
+	rng *rand.Rand, set graph.EdgeCollection) (ops, restarts int64) {
 	if len(verts) == 0 || selections <= 0 {
-		return ops
+		return 0, 0
 	}
 	cur := verts[rng.Intn(len(verts))]
 	failures := 0
 	for sel := 0; sel < selections; sel++ {
-		ops++
 		nb := neighbors(cur)
 		if len(nb) == 0 {
 			// Uniform restart; bail out if the whole view appears edgeless
 			// (every restart in a row failed).
+			restarts++
 			failures++
 			if failures > len(verts) {
 				break
@@ -39,11 +43,12 @@ func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
 			continue
 		}
 		failures = 0
+		ops++
 		next := nb[rng.Intn(len(nb))]
 		set.Add(cur, next)
 		cur = next
 	}
-	return ops
+	return ops, restarts
 }
 
 // randomWalkSequential is the sequential random-walk control filter: the
@@ -53,10 +58,11 @@ func randomWalkSequential(g *graph.Graph, opts Options) *Result {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	verts := graph.NaturalOrder(g.N())
 	set := graph.NewAccumulator(g.N(), g.M()/4)
-	ops := walkEdges(verts, g.Neighbors, g.M()/2, rng, set)
+	ops, restarts := walkEdges(verts, g.Neighbors, g.M()/2, rng, set)
 	res := &Result{Algorithm: RandomWalkSeq, Edges: set}
 	res.Stats.P = 1
 	res.Stats.RankOps = []int64{ops}
+	res.Stats.Restarts = restarts
 	return res
 }
 
@@ -65,14 +71,16 @@ func randomWalkSequential(g *graph.Graph, opts Options) *Result {
 // edge count, and every border edge is admitted by an unbiased coin flip.
 // The coin flip is a deterministic hash of the edge and seed, so both sides
 // of a border make the same decision without communicating (the paper's
-// "binary random value"), keeping the filter perfectly scalable.
+// "binary random value"), keeping the filter perfectly scalable. The only
+// communication is the final Gatherv of partial results to the merge rank.
 func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	internal, border := pt.InternalEdgeCount(g)
 	parts := make([]rankResult, p)
-	comm := mpisim.NewComm(p) // Run helper only; zero messages by design
-	comm.Run(func(rank int) {
+	comm := newComm(opts, p)
+	comm.Run(func(r *mpisim.Rank) {
+		rank := r.ID()
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*7919))
 		block := pt.Parts[rank]
 		// Eligible neighbors: same-partition only.
@@ -86,7 +94,7 @@ func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 			return out
 		}
 		set := graph.NewAccumulator(g.N(), internal[rank]/4)
-		ops := walkEdges(block, nb, internal[rank]/2, rng, set)
+		ops, restarts := walkEdges(block, nb, internal[rank]/2, rng, set)
 		// Border edges incident on this partition: coin-flip admission.
 		for _, a := range block {
 			for _, x := range g.Neighbors(a) {
@@ -98,20 +106,14 @@ func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 				}
 			}
 		}
-		parts[rank] = rankResult{edges: set, ops: ops}
+		r.Compute(ops)
+		gatherParts(r, rankResult{edges: set, restarts: restarts}, parts)
 	})
-	res := mergeRanks(RandomWalkPar, g.N(), parts, border)
-	return res
+	return mergeRanks(RandomWalkPar, g.N(), parts, border, comm)
 }
 
 // edgeCoin is a deterministic fair coin on a normalized edge.
 func edgeCoin(u, v int32, seed int64) bool {
-	k := graph.EdgeKey(u, v) ^ uint64(seed)*0x9e3779b97f4a7c15
-	// SplitMix64 finalizer.
-	k ^= k >> 30
-	k *= 0xbf58476d1ce4e5b9
-	k ^= k >> 27
-	k *= 0x94d049bb133111eb
-	k ^= k >> 31
+	k := graph.SplitMix64(graph.EdgeKey(u, v) ^ uint64(seed)*0x9e3779b97f4a7c15)
 	return k&1 == 1
 }

@@ -79,6 +79,20 @@ type Options struct {
 	P int
 	// Seed drives the random-walk filters.
 	Seed int64
+	// Model is the cost model driving the simulated runtime's virtual
+	// clocks (nil selects mpisim.DefaultCostModel). The resulting
+	// Stats.RankSeconds are in this model's units, so pass the same model
+	// to CostModel.Time.
+	Model *mpisim.CostModel
+}
+
+// newComm builds the simulated runtime for a parallel run under opts.
+func newComm(opts Options, p int) *mpisim.Comm {
+	model := mpisim.DefaultCostModel()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+	return mpisim.NewCommModel(p, model)
 }
 
 // Result is the output of a sampling run.
@@ -135,16 +149,37 @@ func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
 	return nil, fmt.Errorf("sampling: unknown algorithm %d", int(alg))
 }
 
-// rankResult is a per-processor partial result.
+// rankResult is a per-processor partial result, gathered to rank 0 by the
+// runtime's Gatherv at the end of every parallel run. Operation counts and
+// virtual clocks live in the communicator (charged via Rank.Compute).
 type rankResult struct {
-	edges graph.EdgeCollection
-	ops   int64
+	edges    graph.EdgeCollection
+	restarts int64
+}
+
+// payloadBytes is the modeled wire size of a gathered partial result: two
+// int32 endpoints per edge.
+func (pr rankResult) payloadBytes() int { return 8 * pr.edges.Len() }
+
+// gatherParts ends a rank's run: it gathers every rank's partial result to
+// rank 0 through the runtime (charging the collective's modeled cost) and,
+// on rank 0, scatters the payloads into parts for the sequential merge.
+func gatherParts(r *mpisim.Rank, mine rankResult, parts []rankResult) {
+	gathered := r.Gatherv(0, mine, mine.payloadBytes())
+	if r.ID() != 0 {
+		return
+	}
+	for rk, v := range gathered {
+		parts[rk] = v.(rankResult)
+	}
 }
 
 // mergeRanks unions per-rank edge sets sequentially (the paper notes the
-// duplicate removal is done during the sequential analysis phase) and counts
-// duplicates. n is the vertex universe of the input graph.
-func mergeRanks(alg Algorithm, n int, parts []rankResult, border int) *Result {
+// duplicate removal is done during the sequential analysis phase), counts
+// duplicates, and copies the runtime's accounting (per-rank ops, virtual
+// clocks, point-to-point and collective traffic) into the result stats.
+// n is the vertex universe of the input graph.
+func mergeRanks(alg Algorithm, n int, parts []rankResult, border int, comm *mpisim.Comm) *Result {
 	total := 0
 	for _, pr := range parts {
 		total += pr.edges.Len()
@@ -155,10 +190,9 @@ func mergeRanks(alg Algorithm, n int, parts []rankResult, border int) *Result {
 		Edges:       merged,
 		BorderEdges: border,
 	}
-	res.Stats.P = len(parts)
-	res.Stats.RankOps = make([]int64, len(parts))
-	for r, pr := range parts {
-		res.Stats.RankOps[r] = pr.ops
+	comm.FillStats(&res.Stats)
+	for _, pr := range parts {
+		res.Stats.Restarts += pr.restarts
 		pr.edges.ForEach(merged.Add)
 	}
 	res.DuplicateBorderEdges = total - merged.Len()

@@ -136,16 +136,40 @@ type FilterOptions struct {
 	// P is the number of simulated processors (default 1).
 	P int
 	// Seed drives randomized filters and RandomOrder.
+	//
+	// Determinism contract: a Filter run is a pure function of
+	// (graph, Algorithm, Ordering, P, Seed) — independent of GOMAXPROCS
+	// and repeatable across runs. The RandomOrder shuffle and the
+	// randomized samplers draw from independent streams derived from Seed
+	// by SplitMix64 over a per-purpose tag, so the vertex order never
+	// correlates with the walk (and a future consumer added under a new
+	// tag will not perturb existing results).
 	Seed int64
+}
+
+// Stream tags for splitSeed; each Seed consumer gets its own tag.
+const (
+	seedPurposeOrder   = 0x4f524452 // "ORDR"
+	seedPurposeSampler = 0x53414d50 // "SAMP"
+)
+
+// splitSeed derives an independent stream seed from (seed, purpose) with
+// the SplitMix64 finalizer over seed ‖ purpose. Feeding the raw Seed to
+// both the ordering shuffle and the sampler RNG would correlate the two
+// streams (the same source drives which vertices come first and where the
+// walk goes); hashing a distinct purpose tag into each consumer breaks the
+// coupling while keeping every stream a deterministic function of Seed.
+func splitSeed(seed int64, purpose uint64) int64 {
+	return int64(graph.SplitMix64(uint64(seed) + purpose*0x9e3779b97f4a7c15))
 }
 
 // Filter applies a sampling filter to the network.
 func Filter(g *Graph, opts FilterOptions) (*Result, error) {
-	ord := graph.Order(g, opts.Ordering, opts.Seed)
+	ord := graph.Order(g, opts.Ordering, splitSeed(opts.Seed, seedPurposeOrder))
 	return sampling.Run(opts.Algorithm, g, sampling.Options{
 		Order: ord,
 		P:     opts.P,
-		Seed:  opts.Seed,
+		Seed:  splitSeed(opts.Seed, seedPurposeSampler),
 	})
 }
 
