@@ -11,6 +11,7 @@ package parsample
 // by the tests in internal/experiments.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"parsample/internal/expr"
 	"parsample/internal/graph"
 	"parsample/internal/mcode"
+	"parsample/internal/pipeline"
 	"parsample/internal/sampling"
 )
 
@@ -27,7 +29,10 @@ import (
 // the ORIG/HD/LD/NO/RCM variants of YNG and MID).
 func BenchmarkFig04AEESByOrdering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig4()
+		rows, err := experiments.Fig4(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -38,7 +43,10 @@ func BenchmarkFig04AEESByOrdering(b *testing.B) {
 // original vs sampled, for UNT and CRE plus newly discovered clusters).
 func BenchmarkFig05Overlap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Fig5()
+		pts, err := experiments.Fig5(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pts) == 0 {
 			b.Fatal("no points")
 		}
@@ -49,8 +57,8 @@ func BenchmarkFig05Overlap(b *testing.B) {
 // all networks).
 func BenchmarkFig06NodeOverlapAEES(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Fig6()) == 0 {
-			b.Fatal("no points")
+		if pts, err := experiments.Fig6(context.Background()); err != nil || len(pts) == 0 {
+			b.Fatalf("pts=%d err=%v", len(pts), err)
 		}
 	}
 }
@@ -58,8 +66,8 @@ func BenchmarkFig06NodeOverlapAEES(b *testing.B) {
 // BenchmarkFig07EdgeOverlapAEES regenerates Figure 7 (edge overlap vs AEES).
 func BenchmarkFig07EdgeOverlapAEES(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Fig7()) == 0 {
-			b.Fatal("no points")
+		if pts, err := experiments.Fig7(context.Background()); err != nil || len(pts) == 0 {
+			b.Fatalf("pts=%d err=%v", len(pts), err)
 		}
 	}
 }
@@ -68,9 +76,9 @@ func BenchmarkFig07EdgeOverlapAEES(b *testing.B) {
 // node- vs edge-overlap cluster matching).
 func BenchmarkFig08SensSpec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig8()
-		if len(rows) != 2 {
-			b.Fatal("bad rows")
+		rows, err := experiments.Fig8(context.Background())
+		if err != nil || len(rows) != 2 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
 		}
 	}
 }
@@ -79,7 +87,7 @@ func BenchmarkFig08SensSpec(b *testing.B) {
 // the cluster whose AEES improves most under the chordal filter).
 func BenchmarkFig09CaseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9(); err != nil {
+		if _, err := experiments.Fig9(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +98,7 @@ func BenchmarkFig09CaseStudy(b *testing.B) {
 // CRE).
 func BenchmarkFig10Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig10()
+		rows, err := experiments.Fig10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +126,7 @@ func BenchmarkScalingSweep(b *testing.B) {
 	cfg.Networks = nets
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Scaling(cfg)
+		rows, err := experiments.Scaling(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +140,7 @@ func BenchmarkScalingSweep(b *testing.B) {
 // 1P vs 64P cluster overlap and top clusters).
 func BenchmarkFig11ParallelQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig11(); err != nil {
+		if _, _, err := experiments.Fig11(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,10 +150,48 @@ func BenchmarkFig11ParallelQuality(b *testing.B) {
 // random-walk control filter finds essentially no clusters).
 func BenchmarkRandomWalkControl(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RandomWalkClusters(); err != nil {
+		if _, err := experiments.RandomWalkClusters(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------- pipeline
+
+// BenchmarkPipelineEndToEnd runs the full YNG chain — ordering, chordal
+// filter, MCODE, AEES scoring, original-vs-filtered matching — through the
+// pipeline engine, cold (fresh engine per iteration: every stage computes)
+// vs warm (shared engine: every stage is a store hit). The warm/cold ratio
+// is the cache-regression signal; warm must stay orders of magnitude below
+// cold (acceptance bar: ≥5×).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	ds := datasets.YNG()
+	in := pipeline.FromDataset(ds)
+	v := pipeline.Variant{Ordering: graph.HighDegree, Algorithm: sampling.ChordalSeq, P: 1}
+	run := func(b *testing.B, e *pipeline.Engine) {
+		ms, err := e.Matches(context.Background(), in, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, pipeline.New(pipeline.Config{}))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		e := pipeline.New(pipeline.Config{})
+		run(b, e) // prime the store outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, e)
+		}
+	})
 }
 
 // --------------------------------------------------------------- ablations
@@ -190,8 +236,8 @@ func BenchmarkAblationWallClockParallel(b *testing.B) {
 // BenchmarkLostFoundClusters regenerates the Section IV.A lost/found table.
 func BenchmarkLostFoundClusters(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.LostFound()) == 0 {
-			b.Fatal("no rows")
+		if rows, err := experiments.LostFound(context.Background()); err != nil || len(rows) == 0 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
 		}
 	}
 }
@@ -199,7 +245,7 @@ func BenchmarkLostFoundClusters(b *testing.B) {
 // BenchmarkAblationCliqueRetention regenerates the H0 clique-retention study.
 func BenchmarkAblationCliqueRetention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.CliqueRetentionStudy(); err != nil {
+		if _, err := experiments.CliqueRetentionStudy(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -209,7 +255,7 @@ func BenchmarkAblationCliqueRetention(b *testing.B) {
 // extension table (hub survival per filter).
 func BenchmarkAblationHubPreservation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.HubPreservation(); err != nil {
+		if _, err := experiments.HubPreservation(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +265,7 @@ func BenchmarkAblationHubPreservation(b *testing.B) {
 // (triangle rule vs coin flip).
 func BenchmarkAblationBorderRule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.BorderRuleAblation(); err != nil {
+		if _, err := experiments.BorderRuleAblation(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

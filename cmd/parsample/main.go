@@ -8,6 +8,18 @@
 // With no -in/-out it reads stdin and writes stdout. -stats prints sampling
 // telemetry (edges kept, border edges, duplicates, per-rank operations) to
 // stderr.
+//
+// The pipeline subcommand executes a full end-to-end run on the pipeline
+// engine — network (from an edge list, or built from a synthesized
+// expression matrix) → ordering → filter → MCODE clusters → AEES scores —
+// and prints per-stage timings:
+//
+//	parsample pipeline -in net.txt -alg chordal-nocomm -order HD -p 8
+//	parsample pipeline -synth 2048x64 -modules 16 -modsize 12
+//
+// Synthesized runs plant co-expression modules, generate a matching
+// ontology, and therefore include the scoring stage; edge-list runs stop at
+// clustering (no ontology). Ctrl-C cancels the run mid-kernel.
 package main
 
 import (
@@ -21,6 +33,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "pipeline" {
+		pipelineMain(os.Args[2:])
+		return
+	}
 	var (
 		algName   = flag.String("alg", "chordal-nocomm", "algorithm: chordal-seq | chordal-comm | chordal-nocomm | randomwalk-seq | randomwalk-par | forestfire-seq | forestfire-par")
 		orderName = flag.String("order", "NO", "vertex ordering: NO | HD | LD | RCM | RAND")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,7 +21,7 @@ func main() {
 	cfg := experiments.DefaultScalingConfig()
 
 	// The full sweep table, exactly what `experiments -fig scaling` prints.
-	rows, err := experiments.Scaling(cfg)
+	rows, err := experiments.Scaling(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"parsample/internal/graph"
@@ -22,14 +23,25 @@ type ScoredCluster struct {
 // ScoreClusters annotates every cluster against the ontology using the host
 // graph g for cluster-internal adjacency.
 func ScoreClusters(d *ontology.DAG, a *ontology.Annotations, g *graph.Graph, clusters []mcode.Cluster) []ScoredCluster {
+	out, _ := ScoreClustersContext(context.Background(), d, a, g, clusters)
+	return out
+}
+
+// ScoreClustersContext is ScoreClusters with cooperative cancellation,
+// polling ctx between clusters (one cluster score walks every internal edge
+// pair's annotation sets — the unit of work worth bounding).
+func ScoreClustersContext(ctx context.Context, d *ontology.DAG, a *ontology.Annotations, g *graph.Graph, clusters []mcode.Cluster) ([]ScoredCluster, error) {
 	out := make([]ScoredCluster, len(clusters))
 	for i, c := range clusters {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		out[i] = ScoredCluster{
 			Cluster: c,
 			Score:   ontology.ScoreCluster(d, a, g.HasEdge, c.Vertices),
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Overlap quantifies how much of cluster b is shared with cluster a.
@@ -94,8 +106,19 @@ type Match struct {
 // with the highest node overlap (ties broken by edge overlap). gOrig and
 // gFilt are the host graphs used for edge overlap.
 func MatchClusters(gOrig *graph.Graph, orig []ScoredCluster, gFilt *graph.Graph, filt []ScoredCluster) []Match {
+	out, _ := MatchClustersContext(context.Background(), gOrig, orig, gFilt, filt)
+	return out
+}
+
+// MatchClustersContext is MatchClusters with cooperative cancellation,
+// polling ctx per filtered cluster (each one is compared against every
+// original cluster — the quadratic unit of the match table).
+func MatchClustersContext(ctx context.Context, gOrig *graph.Graph, orig []ScoredCluster, gFilt *graph.Graph, filt []ScoredCluster) ([]Match, error) {
 	out := make([]Match, len(filt))
 	for fi, fc := range filt {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		best := Match{FilteredID: fi, OriginalID: -1}
 		for oi, oc := range orig {
 			ov := Overlap{
@@ -112,7 +135,7 @@ func MatchClusters(gOrig *graph.Graph, orig []ScoredCluster, gFilt *graph.Graph,
 		}
 		out[fi] = best
 	}
-	return out
+	return out, nil
 }
 
 // Quadrant is the paper's TP/FP/FN/TN classification of a filtered cluster

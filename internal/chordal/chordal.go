@@ -6,6 +6,8 @@
 package chordal
 
 import (
+	"context"
+
 	"parsample/internal/graph"
 )
 
@@ -141,30 +143,52 @@ const denseBDegree = 96
 // bias and tie-breaking, which is how the paper's Natural / HighDegree /
 // LowDegree / RCM perturbations enter the algorithm.
 func MaximalSubgraph(g *graph.Graph, order []int32) *Result {
+	res, _ := MaximalSubgraphContext(context.Background(), g, order)
+	return res
+}
+
+// cancelStride is how many vertex commits pass between context polls in the
+// DSW loops. A commit processes one vertex's whole neighborhood, so 256
+// commits bound the poll interval to a few hundred microseconds of work
+// while keeping the check off the per-edge path.
+const cancelStride = 256
+
+// MaximalSubgraphContext is MaximalSubgraph with cooperative cancellation:
+// the traversal polls ctx every cancelStride committed vertices and returns
+// (nil, ctx.Err()) once it observes cancellation. A nil error means the
+// extraction ran to completion.
+func MaximalSubgraphContext(ctx context.Context, g *graph.Graph, order []int32) (*Result, error) {
 	n := g.N()
 	res := &Result{VisitOrder: make([]int32, 0, n)}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 	res.Edges = make(graph.EdgeList, 0, g.M()/2)
 	pos := graph.InversePerm(order)
 	bsize := make([]int32, n) // |B(v)|, shared with the heap
 	q := newVertexHeap(order, pos, bsize)
+	var err error
 	if n <= denseBLimit && 2*g.M() >= n*denseBDegree {
-		maximalDense(g, q, bsize, res)
+		err = maximalDense(ctx, g, q, bsize, res)
 	} else {
-		maximalSparse(g, q, bsize, res)
+		err = maximalSparse(ctx, g, q, bsize, res)
 	}
-	return res
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // maximalDense runs the DSW loop with bitset candidate sets.
-func maximalDense(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
+func maximalDense(ctx context.Context, g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) error {
 	n := g.N()
 	visited := graph.NewBitset(n)
 	b := make([]graph.Bitset, n) // candidate sets, allocated on first grow
 
-	for !q.empty() {
+	for step := 0; !q.empty(); step++ {
+		if step%cancelStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		v := q.pop()
 		visited.Set(v)
 		res.VisitOrder = append(res.VisitOrder, v)
@@ -200,12 +224,13 @@ func maximalDense(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
 		}
 		b[v] = nil // release; v is committed
 	}
+	return nil
 }
 
 // maximalSparse runs the DSW loop with member slices and a stamped mark
 // array — subset tests cost O(|B(x)|) probes, which beats the word sweep on
 // sparse networks where candidate sets stay tiny. No hash maps anywhere.
-func maximalSparse(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
+func maximalSparse(ctx context.Context, g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) error {
 	n := g.N()
 	visited := make([]bool, n)
 	b := make([][]int32, n) // candidate sets
@@ -217,6 +242,9 @@ func maximalSparse(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
 
 	stamp := int32(0)
 	for !q.empty() {
+		if stamp%cancelStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		v := q.pop()
 		visited[v] = true
 		res.VisitOrder = append(res.VisitOrder, v)
@@ -253,6 +281,7 @@ func maximalSparse(g *graph.Graph, q *vertexHeap, bsize []int32, res *Result) {
 		stamp++
 		b[v] = nil
 	}
+	return nil
 }
 
 // SubgraphGraph materializes the chordal subgraph over n vertices.

@@ -1,6 +1,7 @@
 package chordal
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -360,9 +361,9 @@ func runPath(g *graph.Graph, order []int32, dense bool) *Result {
 	bsize := make([]int32, n)
 	q := newVertexHeap(order, pos, bsize)
 	if dense {
-		maximalDense(g, q, bsize, res)
+		maximalDense(context.Background(), g, q, bsize, res)
 	} else {
-		maximalSparse(g, q, bsize, res)
+		maximalSparse(context.Background(), g, q, bsize, res)
 	}
 	return res
 }

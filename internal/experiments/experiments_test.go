@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,10 @@ func TestFilterPipeline(t *testing.T) {
 }
 
 func TestFig4ShapesH0b(t *testing.T) {
-	rows := Fig4()
+	rows, err := Fig4(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) == 0 {
 		t.Fatal("no Fig4 rows")
 	}
@@ -54,7 +58,10 @@ func TestFig4ShapesH0b(t *testing.T) {
 }
 
 func TestFig5OverlapShapes(t *testing.T) {
-	pts := Fig5()
+	pts, err := Fig5(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) == 0 {
 		t.Fatal("no Fig5 points")
 	}
@@ -89,7 +96,10 @@ func TestFig5OverlapShapes(t *testing.T) {
 }
 
 func TestFig6Fig7AllNetworksNoNew(t *testing.T) {
-	pts := Fig6()
+	pts, err := Fig6(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	nets := map[string]bool{}
 	for _, p := range pts {
 		if p.New {
@@ -102,13 +112,20 @@ func TestFig6Fig7AllNetworksNoNew(t *testing.T) {
 			t.Fatalf("network %s missing from Fig6", n)
 		}
 	}
-	if len(Fig7()) != len(pts) {
+	pts7, err := Fig7(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts7) != len(pts) {
 		t.Fatal("Fig7 must be the same point set as Fig6")
 	}
 }
 
 func TestFig8SensitivitySpecificity(t *testing.T) {
-	rows := Fig8()
+	rows, err := Fig8(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 || rows[0].Kind != "node" || rows[1].Kind != "edge" {
 		t.Fatalf("rows = %+v", rows)
 	}
@@ -141,7 +158,7 @@ func TestFig8SensitivitySpecificity(t *testing.T) {
 }
 
 func TestFig9CaseStudyImprovement(t *testing.T) {
-	r, err := Fig9()
+	r, err := Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +178,7 @@ func TestFig9CaseStudyImprovement(t *testing.T) {
 }
 
 func TestFig10ScalabilityShape(t *testing.T) {
-	rows, err := Fig10()
+	rows, err := Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +248,7 @@ func TestFig10ScalabilityShape(t *testing.T) {
 }
 
 func TestFig11ParallelQualityH0c(t *testing.T) {
-	overlaps, tops, err := Fig11()
+	overlaps, tops, err := Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +282,7 @@ func TestFig11ParallelQualityH0c(t *testing.T) {
 }
 
 func TestRandomWalkFindsAlmostNoClustersH0a(t *testing.T) {
-	rows, err := RandomWalkClusters()
+	rows, err := RandomWalkClusters(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +303,10 @@ func TestRandomWalkFindsAlmostNoClustersH0a(t *testing.T) {
 	// The chordal filter must find far more clusters than the control on
 	// the same networks (H0a).
 	for _, ds := range datasets.All() {
-		chordalN, _ := mustFilteredClusters(ds, graph.Natural, sampling.ChordalSeq, 1)
+		chordalN, _, err := filteredClusters(context.Background(), ds, graph.Natural, sampling.ChordalSeq, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var rwN int
 		for _, r := range rows {
 			if r.Network == ds.Name {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"parsample/internal/centrality"
 	"parsample/internal/datasets"
 	"parsample/internal/graph"
@@ -23,7 +25,7 @@ type HubPreservationRow struct {
 }
 
 // HubPreservation compares hub survival across filters on the YNG network.
-func HubPreservation() ([]HubPreservationRow, error) {
+func HubPreservation(ctx context.Context) ([]HubPreservationRow, error) {
 	ds := datasets.YNG()
 	origDeg := centrality.Degree(ds.G)
 	origClo := centrality.Closeness(ds.G)
@@ -32,7 +34,7 @@ func HubPreservation() ([]HubPreservationRow, error) {
 	for _, alg := range []sampling.Algorithm{
 		sampling.ChordalSeq, sampling.ChordalNoComm, sampling.RandomWalkSeq, sampling.ForestFireSeq,
 	} {
-		res, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, P: 8, Seed: ds.Seed})
+		res, err := sampling.RunContext(ctx, alg, ds.G, sampling.Options{Order: ord, P: 8, Seed: ds.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +67,7 @@ type BorderRuleRow struct {
 
 // BorderRuleAblation runs the ablation on the CRE network across processor
 // counts.
-func BorderRuleAblation() ([]BorderRuleRow, error) {
+func BorderRuleAblation(ctx context.Context) ([]BorderRuleRow, error) {
 	ds := datasets.CRE()
 	ord := graph.Order(ds.G, graph.Natural, ds.Seed)
 	moduleEdges := graph.NewEdgeSet(0)
@@ -92,7 +94,7 @@ func BorderRuleAblation() ([]BorderRuleRow, error) {
 	}
 	var rows []BorderRuleRow
 	for _, p := range []int{8, 64} {
-		tri, err := sampling.Run(sampling.ChordalNoComm, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
+		tri, err := sampling.RunContext(ctx, sampling.ChordalNoComm, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +106,7 @@ func BorderRuleAblation() ([]BorderRuleRow, error) {
 		// admission (the random walk's border policy grafted onto the
 		// chordal interior); emulated by combining the nocomm interior with
 		// coin-admitted border edges.
-		coin, err := sampling.Run(sampling.RandomWalkPar, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
+		coin, err := sampling.RunContext(ctx, sampling.RandomWalkPar, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed})
 		if err != nil {
 			return nil, err
 		}

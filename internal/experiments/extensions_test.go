@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
 func TestHubPreservationChordalWins(t *testing.T) {
-	rows, err := HubPreservation()
+	rows, err := HubPreservation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestHubPreservationChordalWins(t *testing.T) {
 }
 
 func TestBorderRuleAblation(t *testing.T) {
-	rows, err := BorderRuleAblation()
+	rows, err := BorderRuleAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

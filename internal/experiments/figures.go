@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"parsample/internal/datasets"
 	"parsample/internal/graph"
 	"parsample/internal/mpisim"
+	"parsample/internal/pipeline"
 	"parsample/internal/sampling"
 )
 
@@ -25,20 +27,31 @@ type Fig4Row struct {
 
 // Fig4 reproduces Figure 4: AEES for each cluster across the five variants
 // of YNG and MID.
-func Fig4() []Fig4Row {
+func Fig4(ctx context.Context) ([]Fig4Row, error) {
 	var rows []Fig4Row
 	for _, ds := range []*datasets.Dataset{datasets.YNG(), datasets.MID()} {
-		for _, sc := range originalClusters(ds) {
+		in := input(ds)
+		if err := eng.Warm(ctx, in, seqVariants()...); err != nil {
+			return nil, err
+		}
+		orig, err := originalClusters(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range orig {
 			rows = append(rows, Fig4Row{ds.Name, "ORIG", sc.Cluster.ID, len(sc.Cluster.Vertices), sc.Score.AEES})
 		}
 		for _, o := range graph.AllOrderings {
-			scs, _ := mustFilteredClusters(ds, o, sampling.ChordalSeq, 1)
+			scs, _, err := filteredClusters(ctx, ds, o, sampling.ChordalSeq, 1)
+			if err != nil {
+				return nil, err
+			}
 			for _, sc := range scs {
 				rows = append(rows, Fig4Row{ds.Name, o.String(), sc.Cluster.ID, len(sc.Cluster.Vertices), sc.Score.AEES})
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // ------------------------------------------------------------- Figures 5-7
@@ -57,13 +70,21 @@ type OverlapPoint struct {
 
 // overlapPoints computes the match table for one dataset across the four
 // chordal orderings.
-func overlapPoints(ds *datasets.Dataset) []OverlapPoint {
-	orig := originalClusters(ds)
+func overlapPoints(ctx context.Context, ds *datasets.Dataset) ([]OverlapPoint, error) {
+	if err := eng.Warm(ctx, input(ds), seqVariants()...); err != nil {
+		return nil, err
+	}
 	var pts []OverlapPoint
 	for _, o := range graph.AllOrderings {
-		filt, fg := mustFilteredClusters(ds, o, sampling.ChordalSeq, 1)
-		matches := analysis.MatchClusters(ds.G, orig, fg, filt)
-		for _, m := range matches {
+		filt, _, err := filteredClusters(ctx, ds, o, sampling.ChordalSeq, 1)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := matches(ctx, ds, o, sampling.ChordalSeq, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
 			pts = append(pts, OverlapPoint{
 				Network:   ds.Name,
 				Ordering:  o.String(),
@@ -75,37 +96,45 @@ func overlapPoints(ds *datasets.Dataset) []OverlapPoint {
 			})
 		}
 	}
-	return pts
+	return pts, nil
 }
 
 // Fig5 reproduces Figure 5: node/edge overlap of filtered vs original
 // clusters for the GSE5140 networks (UNT and CRE), with newly discovered
 // clusters flagged.
-func Fig5() []OverlapPoint {
+func Fig5(ctx context.Context) ([]OverlapPoint, error) {
 	var pts []OverlapPoint
 	for _, ds := range []*datasets.Dataset{datasets.UNT(), datasets.CRE()} {
-		pts = append(pts, overlapPoints(ds)...)
+		p, err := overlapPoints(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p...)
 	}
-	return pts
+	return pts, nil
 }
 
 // Fig6 reproduces Figure 6 (node overlap vs AEES) over all four networks.
 // Lost/found clusters are excluded, as in the paper.
-func Fig6() []OverlapPoint {
+func Fig6(ctx context.Context) ([]OverlapPoint, error) {
 	var pts []OverlapPoint
 	for _, ds := range datasets.All() {
-		for _, p := range overlapPoints(ds) {
+		dsPts, err := overlapPoints(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range dsPts {
 			if !p.New {
 				pts = append(pts, p)
 			}
 		}
 	}
-	return pts
+	return pts, nil
 }
 
 // Fig7 reproduces Figure 7 (edge overlap vs AEES); same points as Fig6,
 // plotted on the edge-overlap axis.
-func Fig7() []OverlapPoint { return Fig6() }
+func Fig7(ctx context.Context) ([]OverlapPoint, error) { return Fig6(ctx) }
 
 // ---------------------------------------------------------------- Figure 8
 
@@ -120,16 +149,24 @@ type Fig8Row struct {
 // Fig8 reproduces Figure 8: TP/FP/FN/TN quadrant counts over every filtered
 // cluster (all networks × orderings) with the paper's thresholds, and the
 // resulting sensitivity/specificity for node- and edge-overlap matching.
-func Fig8() []Fig8Row {
+func Fig8(ctx context.Context) ([]Fig8Row, error) {
 	var node, edge analysis.Counts
 	for _, ds := range datasets.All() {
-		orig := originalClusters(ds)
+		if err := eng.Warm(ctx, input(ds), seqVariants()...); err != nil {
+			return nil, err
+		}
 		for _, o := range graph.AllOrderings {
-			filt, fg := mustFilteredClusters(ds, o, sampling.ChordalSeq, 1)
-			matches := analysis.MatchClusters(ds.G, orig, fg, filt)
-			n := analysis.QuadrantCounts(filt, matches, analysis.ByNode,
+			filt, _, err := filteredClusters(ctx, ds, o, sampling.ChordalSeq, 1)
+			if err != nil {
+				return nil, err
+			}
+			ms, err := matches(ctx, ds, o, sampling.ChordalSeq, 1)
+			if err != nil {
+				return nil, err
+			}
+			n := analysis.QuadrantCounts(filt, ms, analysis.ByNode,
 				analysis.DefaultAEESThreshold, analysis.DefaultOverlapThreshold)
-			e := analysis.QuadrantCounts(filt, matches, analysis.ByEdge,
+			e := analysis.QuadrantCounts(filt, ms, analysis.ByEdge,
 				analysis.DefaultAEESThreshold, analysis.DefaultOverlapThreshold)
 			node.TP += n.TP
 			node.FP += n.FP
@@ -144,7 +181,7 @@ func Fig8() []Fig8Row {
 	return []Fig8Row{
 		{"node", node, node.Sensitivity(), node.Specificity()},
 		{"edge", edge, edge.Sensitivity(), edge.Specificity()},
-	}
+	}, nil
 }
 
 // ---------------------------------------------------------------- Figure 9
@@ -166,15 +203,27 @@ type Fig9Result struct {
 
 // Fig9 scans the UNT orderings for the cluster pair with the largest AEES
 // improvement among overlapping pairs, mirroring the paper's case study.
-func Fig9() (Fig9Result, error) {
-	ds := datasets.UNT()
-	orig := originalClusters(ds)
+func Fig9(ctx context.Context) (Fig9Result, error) {
 	best := Fig9Result{}
+	ds := datasets.UNT()
+	if err := eng.Warm(ctx, input(ds), seqVariants()...); err != nil {
+		return best, err
+	}
+	orig, err := originalClusters(ctx, ds)
+	if err != nil {
+		return best, err
+	}
 	found := false
 	for _, o := range graph.AllOrderings {
-		filt, fg := mustFilteredClusters(ds, o, sampling.ChordalSeq, 1)
-		matches := analysis.MatchClusters(ds.G, orig, fg, filt)
-		for _, m := range matches {
+		filt, _, err := filteredClusters(ctx, ds, o, sampling.ChordalSeq, 1)
+		if err != nil {
+			return best, err
+		}
+		ms, err := matches(ctx, ds, o, sampling.ChordalSeq, 1)
+		if err != nil {
+			return best, err
+		}
+		for _, m := range ms {
 			if m.OriginalID < 0 || m.Overlap.NodeFrac < 0.25 {
 				continue
 			}
@@ -238,15 +287,18 @@ var fig10Model = mpisim.CostModel{
 func Fig10CostModel() mpisim.CostModel { return fig10Model }
 
 // Fig10 reproduces the scalability figure on the paper's two representative
-// networks (YNG small, CRE large) for the three parallel algorithms.
-func Fig10() ([]Fig10Row, error) {
+// networks (YNG small, CRE large) for the three parallel algorithms. The
+// sweep runs on the raw samplers (each point needs its own cost-model
+// telemetry, so there is nothing for the artifact store to share), but
+// honors ctx like the engine-backed figures.
+func Fig10(ctx context.Context) ([]Fig10Row, error) {
 	var rows []Fig10Row
 	algs := []sampling.Algorithm{sampling.ChordalComm, sampling.ChordalNoComm, sampling.RandomWalkPar}
 	for _, ds := range []*datasets.Dataset{datasets.YNG(), datasets.CRE()} {
 		ord := graph.Order(ds.G, graph.Natural, ds.Seed)
 		for _, alg := range algs {
 			for _, p := range Fig10Processors {
-				res, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed, Model: &fig10Model})
+				res, err := sampling.RunContext(ctx, alg, ds.G, sampling.Options{Order: ord, P: p, Seed: ds.Seed, Model: &fig10Model})
 				if err != nil {
 					return nil, err
 				}
@@ -289,9 +341,20 @@ type Fig11TopRow struct {
 }
 
 // Fig11 reproduces Figure 11: parallel quality of the CRE NO filter.
-func Fig11() ([]Fig11OverlapRow, []Fig11TopRow, error) {
+func Fig11(ctx context.Context) ([]Fig11OverlapRow, []Fig11TopRow, error) {
 	ds := datasets.CRE()
-	orig := originalClusters(ds)
+	in := input(ds)
+	warm := []pipeline.Variant{pipeline.Original}
+	for _, p := range []int{1, 64} {
+		warm = append(warm, pipeline.Variant{Ordering: graph.Natural, Algorithm: sampling.ChordalNoComm, P: p})
+	}
+	if err := eng.Warm(ctx, in, warm...); err != nil {
+		return nil, nil, err
+	}
+	orig, err := originalClusters(ctx, ds)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	var overlaps []Fig11OverlapRow
 	var tops []Fig11TopRow
@@ -304,12 +367,15 @@ func Fig11() ([]Fig11OverlapRow, []Fig11TopRow, error) {
 		}
 	}
 	for _, p := range []int{1, 64} {
-		filt, fg, err := filteredClusters(ds, graph.Natural, sampling.ChordalNoComm, p)
+		filt, _, err := filteredClusters(ctx, ds, graph.Natural, sampling.ChordalNoComm, p)
 		if err != nil {
 			return nil, nil, err
 		}
-		matches := analysis.MatchClusters(ds.G, orig, fg, filt)
-		for _, m := range matches {
+		ms, err := matches(ctx, ds, graph.Natural, sampling.ChordalNoComm, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, m := range ms {
 			if m.OriginalID < 0 {
 				continue
 			}
@@ -352,10 +418,10 @@ type RandomWalkRow struct {
 
 // RandomWalkClusters runs the control filter over every network and counts
 // resulting clusters.
-func RandomWalkClusters() ([]RandomWalkRow, error) {
+func RandomWalkClusters(ctx context.Context) ([]RandomWalkRow, error) {
 	var rows []RandomWalkRow
 	for _, ds := range datasets.All() {
-		filt, fg, err := filteredClusters(ds, graph.Natural, sampling.RandomWalkSeq, 1)
+		filt, fg, err := filteredClusters(ctx, ds, graph.Natural, sampling.RandomWalkSeq, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"parsample/internal/expr"
@@ -33,7 +34,7 @@ var frontEndSpec = expr.SyntheticSpec{
 // CorrelationFrontEnd builds the correlation network with both statistics
 // at the paper's thresholds and reports size, planted-module recall and
 // wall-clock build time.
-func CorrelationFrontEnd() ([]CorrelationFrontEndRow, error) {
+func CorrelationFrontEnd(ctx context.Context) ([]CorrelationFrontEndRow, error) {
 	syn, err := expr.Synthesize(frontEndSpec)
 	if err != nil {
 		return nil, err
@@ -43,7 +44,10 @@ func CorrelationFrontEnd() ([]CorrelationFrontEndRow, error) {
 		opts := expr.DefaultNetworkOptions()
 		opts.Kind = kind
 		start := time.Now()
-		g := expr.BuildNetwork(syn.M, opts)
+		g, err := expr.BuildNetworkContext(ctx, syn.M, opts)
+		if err != nil {
+			return nil, err
+		}
 		elapsed := time.Since(start).Seconds()
 		kept, possible := 0, 0
 		for _, mod := range syn.Modules {

@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestCorrelationFrontEnd(t *testing.T) {
-	rows, err := CorrelationFrontEnd()
+	rows, err := CorrelationFrontEnd(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

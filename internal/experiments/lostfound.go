@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -28,14 +29,26 @@ type LostFoundRow struct {
 }
 
 // LostFound computes the lost/found table over every network and ordering.
-func LostFound() []LostFoundRow {
+func LostFound(ctx context.Context) ([]LostFoundRow, error) {
 	var rows []LostFoundRow
 	for _, ds := range datasets.All() {
-		orig := originalClusters(ds)
+		if err := eng.Warm(ctx, input(ds), seqVariants()...); err != nil {
+			return nil, err
+		}
+		orig, err := originalClusters(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
 		for _, o := range graph.AllOrderings {
-			filt, fg := mustFilteredClusters(ds, o, sampling.ChordalSeq, 1)
-			matches := analysis.MatchClusters(ds.G, orig, fg, filt)
-			lf := analysis.FindLostFound(len(orig), matches)
+			filt, _, err := filteredClusters(ctx, ds, o, sampling.ChordalSeq, 1)
+			if err != nil {
+				return nil, err
+			}
+			ms, err := matches(ctx, ds, o, sampling.ChordalSeq, 1)
+			if err != nil {
+				return nil, err
+			}
+			lf := analysis.FindLostFound(len(orig), ms)
 			foundHigh := 0
 			for _, fi := range lf.Found {
 				if filt[fi].Score.AEES >= analysis.DefaultAEESThreshold {
@@ -53,7 +66,7 @@ func LostFound() []LostFoundRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // WriteLostFound renders the lost/found table.
@@ -79,14 +92,14 @@ type CliqueRetentionRow struct {
 
 // CliqueRetentionStudy compares clique survival under the chordal filter and
 // the two agnostic controls on the YNG network.
-func CliqueRetentionStudy() ([]CliqueRetentionRow, error) {
+func CliqueRetentionStudy(ctx context.Context) ([]CliqueRetentionRow, error) {
 	ds := datasets.YNG()
 	ord := graph.Order(ds.G, graph.Natural, ds.Seed)
 	var rows []CliqueRetentionRow
 	for _, alg := range []sampling.Algorithm{
 		sampling.ChordalSeq, sampling.RandomWalkSeq, sampling.ForestFireSeq,
 	} {
-		res, err := sampling.Run(alg, ds.G, sampling.Options{Order: ord, Seed: ds.Seed})
+		res, err := sampling.RunContext(ctx, alg, ds.G, sampling.Options{Order: ord, Seed: ds.Seed})
 		if err != nil {
 			return nil, err
 		}

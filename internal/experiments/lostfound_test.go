@@ -2,12 +2,16 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestLostFoundTable(t *testing.T) {
-	rows := LostFound()
+	rows, err := LostFound(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 16 { // 4 networks × 4 orderings
 		t.Fatalf("rows = %d, want 16", len(rows))
 	}
@@ -38,7 +42,7 @@ func TestLostFoundTable(t *testing.T) {
 }
 
 func TestCliqueRetentionStudyChordalWins(t *testing.T) {
-	rows, err := CliqueRetentionStudy()
+	rows, err := CliqueRetentionStudy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -81,7 +82,7 @@ type ScalingRow struct {
 // Scaling runs the sweep. Rows come out grouped per (network, ordering,
 // algorithm) series in the order of cfg.Processors; speedup and efficiency
 // are relative to the series' first processor count.
-func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
+func Scaling(ctx context.Context, cfg ScalingConfig) ([]ScalingRow, error) {
 	if len(cfg.Processors) == 0 {
 		return nil, fmt.Errorf("experiments: scaling sweep has no processor counts")
 	}
@@ -92,7 +93,7 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 			for _, alg := range cfg.Algorithms {
 				base := 0.0
 				for i, p := range cfg.Processors {
-					res, err := sampling.Run(alg, net.G, sampling.Options{
+					res, err := sampling.RunContext(ctx, alg, net.G, sampling.Options{
 						Order: ord, P: p, Seed: net.Seed, Model: &cfg.Model,
 					})
 					if err != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func smallScalingConfig() ScalingConfig {
 
 func TestScalingSweep(t *testing.T) {
 	cfg := smallScalingConfig()
-	rows, err := Scaling(cfg)
+	rows, err := Scaling(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestScalingSweep(t *testing.T) {
 		}
 	}
 	// Determinism: the whole sweep reproduces bit-for-bit.
-	again, err := Scaling(cfg)
+	again, err := Scaling(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestScalingSweep(t *testing.T) {
 }
 
 func TestWriteScaling(t *testing.T) {
-	rows, err := Scaling(smallScalingConfig())
+	rows, err := Scaling(context.Background(), smallScalingConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

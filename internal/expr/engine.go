@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -63,20 +64,33 @@ func CorrelatedPairs(m *Matrix, opts NetworkOptions) []ScoredEdge {
 // itself, for callers that canonicalize anyway (BuildNetwork's Builder
 // counting-sorts, ThresholdSweep buckets into Builders).
 func scoredPairs(m *Matrix, opts NetworkOptions) []ScoredEdge {
+	out, _ := scoredPairsContext(context.Background(), m, opts)
+	return out
+}
+
+// scoredPairsContext is the cancellable engine sweep: workers poll ctx at
+// every tile-pair claim (a claim is ~ms of dot products, so cancellation
+// lands promptly) and the row standardization polls between rows. On
+// cancellation the partial result is discarded and ctx.Err() returned.
+func scoredPairsContext(ctx context.Context, m *Matrix, opts NetworkOptions) ([]ScoredEdge, error) {
 	opts = opts.withDefaults()
 	thresh := opts.MinAbsR
 	if rc := criticalR(opts.MaxP, m.Samples); rc > thresh {
 		thresh = rc
 	}
+	z, err := standardizedRows(ctx, m, opts.Kind)
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
 		genes:    m.Genes,
 		samples:  m.Samples,
-		z:        standardizedRows(m, opts.Kind),
+		z:        z,
 		tile:     tileRows(m.Samples),
 		thresh:   thresh,
 		negative: opts.Negative,
 	}
-	return e.sweep(opts.Workers)
+	return e.sweep(ctx, opts.Workers)
 }
 
 // engine is one all-pairs sweep over a standardized row arena.
@@ -94,11 +108,15 @@ type engine struct {
 // For SpearmanCorr each row is first replaced by its average-tied ranks.
 // Zero-variance rows become all-zero and therefore correlate to 0 with
 // everything, matching Pearson's and Spearman's degenerate-input behavior.
-func standardizedRows(m *Matrix, kind CorrelationKind) []float64 {
+// ctx is polled every 1024 rows.
+func standardizedRows(ctx context.Context, m *Matrix, kind CorrelationKind) ([]float64, error) {
 	s := m.Samples
 	z := make([]float64, m.Genes*s)
 	var rk ranker
 	for g := 0; g < m.Genes; g++ {
+		if g%1024 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		src := m.Row(g)
 		dst := z[g*s : (g+1)*s]
 		if kind == SpearmanCorr {
@@ -127,7 +145,7 @@ func standardizedRows(m *Matrix, kind CorrelationKind) []float64 {
 			dst[i] *= inv
 		}
 	}
-	return z
+	return z, nil
 }
 
 // tileRows picks the tile height so that one tile of standardized rows is
@@ -152,15 +170,17 @@ func tileRows(samples int) int {
 }
 
 // sweep runs the blocked triangular pair sweep with the given worker count
-// and returns the retained edges in unspecified order.
-func (e *engine) sweep(workers int) []ScoredEdge {
+// and returns the retained edges in unspecified order. Workers poll ctx at
+// every tile-pair claim; a cancelled sweep joins its workers and returns
+// ctx.Err().
+func (e *engine) sweep(ctx context.Context, workers int) ([]ScoredEdge, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tiles := (e.genes + e.tile - 1) / e.tile
 	totalPairs := int64(tiles) * int64(tiles+1) / 2
 	if totalPairs == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if int64(workers) > totalPairs {
 		workers = int(totalPairs)
@@ -173,7 +193,7 @@ func (e *engine) sweep(workers int) []ScoredEdge {
 		go func(w int) {
 			defer wg.Done()
 			var local []ScoredEdge
-			for {
+			for ctx.Err() == nil {
 				k := next.Add(1) - 1
 				if k >= totalPairs {
 					break
@@ -185,6 +205,9 @@ func (e *engine) sweep(workers int) []ScoredEdge {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, r := range results {
 		total += len(r)
@@ -193,7 +216,7 @@ func (e *engine) sweep(workers int) []ScoredEdge {
 	for _, r := range results {
 		out = append(out, r...)
 	}
-	return out
+	return out, nil
 }
 
 // decodeTilePair maps a linear index k in [0, T(T+1)/2) to the k-th tile

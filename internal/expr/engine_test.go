@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -229,7 +230,7 @@ func TestStandardizedRowsProperties(t *testing.T) {
 		m.Set(10, s, 4.0)
 	}
 	for _, kind := range []CorrelationKind{PearsonCorr, SpearmanCorr} {
-		z := standardizedRows(m, kind)
+		z, _ := standardizedRows(context.Background(), m, kind)
 		for g := 0; g < m.Genes; g++ {
 			row := z[g*m.Samples : (g+1)*m.Samples]
 			var sum, ss float64

@@ -10,6 +10,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -198,9 +199,22 @@ func (o NetworkOptions) withDefaults() NetworkOptions {
 // admission can deviate solely for a pair whose correlation sits within an
 // ulp of the threshold. The result does not depend on Workers.
 func BuildNetwork(m *Matrix, opts NetworkOptions) *graph.Graph {
+	g, _ := BuildNetworkContext(context.Background(), m, opts)
+	return g
+}
+
+// BuildNetworkContext is BuildNetwork with cooperative cancellation: the
+// engine's standardization and tile sweep poll ctx (see engine.go) and the
+// build returns (nil, ctx.Err()) promptly once cancellation is observed.
+// The edge set of a completed build is identical to BuildNetwork's.
+func BuildNetworkContext(ctx context.Context, m *Matrix, opts NetworkOptions) (*graph.Graph, error) {
+	scored, err := scoredPairsContext(ctx, m, opts)
+	if err != nil {
+		return nil, err
+	}
 	b := graph.NewBuilder(m.Genes)
-	b.AddEdges(toEdges(scoredPairs(m, opts)))
-	return b.Build()
+	b.AddEdges(toEdges(scored))
+	return b.Build(), nil
 }
 
 // SyntheticSpec describes a synthetic microarray experiment with planted

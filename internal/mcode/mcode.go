@@ -7,6 +7,7 @@
 package mcode
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -155,6 +156,15 @@ func CoreNumbers(g *graph.Graph) []int {
 // graph.Localizer, so neighborhood extraction reuses O(N) scratch instead of
 // allocating it per vertex.
 func VertexWeights(g *graph.Graph) []float64 {
+	w, _ := vertexWeightsContext(context.Background(), g)
+	return w
+}
+
+// vertexWeightsContext is the cancellable weight pass: each worker polls ctx
+// every 64 vertices (one vertex weight is a neighborhood k-core extraction,
+// so the poll interval stays well under a millisecond of work) and bails
+// once cancellation is observed.
+func vertexWeightsContext(ctx context.Context, g *graph.Graph) ([]float64, error) {
 	n := g.N()
 	w := make([]float64, n)
 	workers := runtime.GOMAXPROCS(0)
@@ -171,13 +181,21 @@ func VertexWeights(g *graph.Graph) []float64 {
 			defer wg.Done()
 			loc := g.NewLocalizer()
 			region := make([]int32, 0, g.MaxDegree()+1)
+			done := 0
 			for v := int32(k); int(v) < n; v += int32(workers) {
+				if done%64 == 0 && ctx.Err() != nil {
+					return
+				}
+				done++
 				w[v] = vertexWeight(g, loc, region, v)
 			}
 		}(k)
 	}
 	wg.Wait()
-	return w
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 // vertexWeight computes the MCODE weight of one vertex using the worker's
@@ -224,12 +242,25 @@ func vertexWeight(g *graph.Graph, loc *graph.Localizer, region []int32, v int32)
 // running concurrent HasEdge/HasEdgeFast readers on the same graph should
 // call g.EnsureDense() themselves before fanning out.
 func FindClusters(g *graph.Graph, p Params) []Cluster {
+	clusters, _ := FindClustersContext(context.Background(), g, p)
+	return clusters
+}
+
+// FindClustersContext is FindClusters with cooperative cancellation: the
+// dominant vertex-weight pass polls ctx in every worker and the seed-growth
+// loop polls between seeds, so cancellation returns promptly with ctx.Err()
+// and no partial cluster list. A completed run is identical to
+// FindClusters.
+func FindClustersContext(ctx context.Context, g *graph.Graph, p Params) ([]Cluster, error) {
 	p = p.withDefaults()
 	n := g.N()
 	// Dense adjacency rows (when the universe is small enough) turn the
 	// cluster-scoring edge counts into AND-popcounts over bitset rows.
 	g.EnsureDense()
-	weights := VertexWeights(g)
+	weights, err := vertexWeightsContext(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 
 	// Seeds in decreasing weight order.
 	seeds := make([]int32, n)
@@ -253,7 +284,10 @@ func FindClusters(g *graph.Graph, p Params) []Cluster {
 	// the per-seed cost stays O(|complex|), not O(n/8).
 	scratch := graph.NewBitset(n)
 	var clusters []Cluster
-	for _, seed := range seeds {
+	for si, seed := range seeds {
+		if si%256 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if used[seed] || weights[seed] == 0 {
 			continue
 		}
@@ -284,7 +318,7 @@ func FindClusters(g *graph.Graph, p Params) []Cluster {
 	for i := range clusters {
 		clusters[i].ID = i
 	}
-	return clusters
+	return clusters, nil
 }
 
 // growComplex BFS-expands from seed, admitting unused vertices whose weight

@@ -25,6 +25,7 @@
 package mpisim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -53,6 +54,8 @@ type Comm struct {
 
 	collMsgs  atomic.Int64
 	collBytes atomic.Int64
+
+	aborted atomic.Bool
 }
 
 // NewComm creates a communicator for p ranks using DefaultCostModel for the
@@ -92,17 +95,78 @@ func (c *Comm) CollMessages() int64 { return c.collMsgs.Load() }
 func (c *Comm) CollBytes() int64 { return c.collBytes.Load() }
 
 // Run launches fn on every rank concurrently and waits for completion.
+//
+// A rank may abort mid-run (Rank.Abort, or any blocking primitive after
+// Comm.Abort): its goroutine unwinds via a sentinel panic that Run recovers,
+// so an aborted run still returns once every rank has either finished or
+// unwound — no goroutine outlives Run.
 func (c *Comm) Run(fn func(r *Rank)) {
 	var wg sync.WaitGroup
 	wg.Add(c.p)
 	for r := 0; r < c.p; r++ {
 		go func(rk *Rank) {
 			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					if _, ok := e.(abortPanic); !ok {
+						panic(e)
+					}
+				}
+			}()
 			fn(rk)
 		}(c.ranks[r])
 	}
 	wg.Wait()
 }
+
+// abortPanic is the sentinel a rank goroutine unwinds with when the run is
+// aborted; Comm.Run recovers it (and only it).
+type abortPanic struct{}
+
+// Aborted reports whether Abort has been called on the communicator.
+func (c *Comm) Aborted() bool { return c.aborted.Load() }
+
+// Abort marks the run as aborted and wakes every rank blocked in a receive
+// or collective; woken ranks unwind out of Comm.Run. Compute loops that
+// poll a context must abort themselves via Rank.Abort. Safe to call from
+// any goroutine, more than once.
+func (c *Comm) Abort() {
+	c.aborted.Store(true)
+	for _, bx := range c.boxes {
+		bx.mu.Lock()
+		bx.cond.Broadcast()
+		bx.mu.Unlock()
+	}
+	c.coll.mu.Lock()
+	c.coll.cond.Broadcast()
+	c.coll.mu.Unlock()
+}
+
+// AbortOnCancel aborts the communicator when ctx is cancelled. The returned
+// stop function releases the watcher goroutine; call it (typically via
+// defer) after Run returns. A context that can never be cancelled installs
+// no watcher.
+func (c *Comm) AbortOnCancel(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Abort()
+		case <-stopped:
+		}
+	}()
+	return func() { close(stopped) }
+}
+
+// Abort unwinds the calling rank goroutine with the abort sentinel; Comm.Run
+// recovers it. Rank compute loops call this when they observe a cancelled
+// context, so a cancelled run terminates promptly even between blocking
+// primitives. Must not be called while holding runtime locks (blocking
+// primitives handle their own abort checks, releasing locks first).
+func (r *Rank) Abort() { panic(abortPanic{}) }
 
 // FillStats copies the run's accounting into s: per-rank operation counts
 // and virtual clocks, point-to-point traffic, and collective traffic.
@@ -175,6 +239,10 @@ func (r *Rank) Recv(from int) Message {
 	bx := r.c.boxes[r.id]
 	bx.mu.Lock()
 	for len(bx.q[from]) == 0 {
+		if r.c.aborted.Load() {
+			bx.mu.Unlock()
+			panic(abortPanic{})
+		}
 		bx.cond.Wait()
 	}
 	msg := bx.pop(from)
@@ -205,6 +273,10 @@ func (r *Rank) AnyRecv(sources []int) Message {
 		}
 		if ready {
 			break
+		}
+		if r.c.aborted.Load() {
+			bx.mu.Unlock()
+			panic(abortPanic{})
 		}
 		bx.cond.Wait()
 	}
@@ -460,6 +532,10 @@ func (cl *collective) exchange(r *Rank, val any, size int) *collResult {
 		return res
 	}
 	for gen == cl.gen {
+		if r.c.aborted.Load() {
+			cl.mu.Unlock()
+			panic(abortPanic{})
+		}
 		cl.cond.Wait()
 	}
 	res := cl.result

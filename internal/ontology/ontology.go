@@ -105,14 +105,22 @@ func (d *DAG) Ancestors(t TermID) map[TermID]bool {
 
 // DeepestCommonParent returns the deepest term that is an ancestor of both
 // t1 and t2 (possibly one of them), and its depth. The root is a common
-// ancestor of everything, so a result always exists.
+// ancestor of everything, so a result always exists. Equal-depth candidates
+// tie-break on the smallest term id — map iteration order must not leak
+// into the result (the determinism contract: every pipeline artifact is a
+// pure function of its inputs, and DominantTerm flows into Figure 9/11
+// output).
 func (d *DAG) DeepestCommonParent(t1, t2 TermID) (TermID, int) {
 	a1 := d.Ancestors(t1)
 	best := TermID(0)
 	bestDepth := -1
 	for a := range d.Ancestors(t2) {
-		if a1[a] && int(d.depth[a]) > bestDepth {
-			best, bestDepth = a, int(d.depth[a])
+		if !a1[a] {
+			continue
+		}
+		depth := int(d.depth[a])
+		if depth > bestDepth || (depth == bestDepth && a < best) {
+			best, bestDepth = a, depth
 		}
 	}
 	return best, bestDepth

@@ -1,0 +1,478 @@
+// Package pipeline is the typed stage-graph engine behind the paper's
+// end-to-end pipeline:
+//
+//	expression matrix ─BuildNetwork→ correlation network ─Order→ vertex order
+//	  ─Filter→ sampled network ─Cluster→ MCODE complexes ─Score→ AEES
+//	  ─Match→ original-vs-filtered match table
+//
+// Each stage declares its inputs and a deterministic cache key (a pure
+// function of the input name, the stage parameters and the seeds — see
+// Key), and the Engine executes requested artifacts on top of a keyed
+// artifact store with singleflight deduplication, LRU byte-budget eviction
+// and hit/miss counters (Store). Stage kernels run under a bounded
+// concurrency budget and take a context.Context end-to-end, so a request
+// can be cancelled mid-kernel without poisoning the store or leaking
+// goroutines. The figure drivers in internal/experiments, the public
+// parsample.Pipeline facade and the `parsample pipeline` subcommand all run
+// on this engine.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"parsample/internal/analysis"
+	"parsample/internal/datasets"
+	"parsample/internal/expr"
+	"parsample/internal/graph"
+	"parsample/internal/mcode"
+	"parsample/internal/ontology"
+	"parsample/internal/sampling"
+)
+
+// Stage identifies one node of the stage graph.
+type Stage uint8
+
+const (
+	// StageNetwork builds (or adopts) the input network.
+	StageNetwork Stage = iota
+	// StageOrder computes a vertex processing order over the network.
+	StageOrder
+	// StageFilter applies a sampling filter under an order.
+	StageFilter
+	// StageCluster runs MCODE on a network variant.
+	StageCluster
+	// StageScore scores a variant's clusters against the ontology.
+	StageScore
+	// StageMatch matches a filtered variant's scored clusters against the
+	// original network's.
+	StageMatch
+)
+
+// String returns the stage name used in traces.
+func (s Stage) String() string {
+	switch s {
+	case StageNetwork:
+		return "network"
+	case StageOrder:
+		return "order"
+	case StageFilter:
+		return "filter"
+	case StageCluster:
+		return "cluster"
+	case StageScore:
+		return "score"
+	case StageMatch:
+		return "match"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Variant selects which network variant of an input an artifact describes:
+// the unfiltered original, or the output of one sampling filter under one
+// ordering and processor count.
+type Variant struct {
+	Ordering  graph.Ordering
+	Algorithm sampling.Algorithm
+	P         int
+}
+
+// Original is the unfiltered input network.
+var Original = Variant{Ordering: -1, Algorithm: -1, P: 0}
+
+// IsOriginal reports whether v denotes the unfiltered network.
+func (v Variant) IsOriginal() bool { return v == Original }
+
+// String returns "orig", the bare ordering name (order-stage variants have
+// no algorithm), or "ordering/algorithm/P".
+func (v Variant) String() string {
+	if v.IsOriginal() {
+		return "orig"
+	}
+	if v.Algorithm < 0 {
+		return v.Ordering.String()
+	}
+	return fmt.Sprintf("%s/%s/P%d", v.Ordering, v.Algorithm, v.P)
+}
+
+// Key is the deterministic identity of one artifact. It is a pure function
+// of the input (by name), the stage, the variant and the stage parameters —
+// per the determinism contract every kernel honors (a run is a pure
+// function of its inputs and seed, independent of GOMAXPROCS), equal keys
+// denote byte-identical artifacts. The caller's side of the contract is
+// that Input.Name uniquely identifies the input data (see Input.Name).
+type Key struct {
+	// Input is the input's Name.
+	Input string
+	// Stage is the stage-graph node.
+	Stage Stage
+	// Variant is the network variant the artifact belongs to. Network-stage
+	// artifacts always use Original.
+	Variant Variant
+	// OrderSeed and FilterSeed are the seeds of the ordering shuffle and the
+	// randomized samplers.
+	OrderSeed, FilterSeed int64
+	// Net is the normalized network construction config (Workers zeroed:
+	// results are worker-independent).
+	Net expr.NetworkOptions
+	// MCODE is the normalized clustering config.
+	MCODE mcode.Params
+}
+
+// Input is one dataset the engine can serve artifacts for.
+type Input struct {
+	// Name must uniquely identify the input data (and is the cache-key
+	// namespace): two Inputs with equal names, seeds and options are assumed
+	// to carry the same Graph/Matrix/DAG/Ann. The four evaluation datasets
+	// use their paper names; file-driven callers use the file path.
+	Name string
+	// G is the network. When nil, Matrix must be set and the network stage
+	// builds the correlation network from it.
+	G *graph.Graph
+	// Matrix is the genes × samples expression matrix (used when G is nil).
+	Matrix *expr.Matrix
+	// Net configures correlation-network construction from Matrix.
+	Net expr.NetworkOptions
+	// DAG and Ann are the ontology side; required by Score and Match.
+	DAG *ontology.DAG
+	Ann *ontology.Annotations
+	// MCODE configures clustering. The zero value selects the paper's
+	// defaults (mcode.DefaultParams).
+	MCODE mcode.Params
+	// OrderSeed seeds the ordering shuffle; FilterSeed the randomized
+	// samplers. The figure drivers use the dataset seed for both (the
+	// historical driver behavior); parsample.Pipeline derives decorrelated
+	// streams per its documented contract.
+	OrderSeed, FilterSeed int64
+}
+
+// FromDataset adapts one of the paper's evaluation datasets, using the
+// dataset seed for both seed streams — exactly what the pre-engine figure
+// drivers did, so engine-produced figures are byte-identical to theirs.
+func FromDataset(ds *datasets.Dataset) Input {
+	return Input{
+		Name:       ds.Name,
+		G:          ds.G,
+		DAG:        ds.DAG,
+		Ann:        ds.Ann,
+		OrderSeed:  ds.Seed,
+		FilterSeed: ds.Seed,
+	}
+}
+
+// key builds the artifact key for one stage of this input.
+func (in Input) key(s Stage, v Variant) Key {
+	net := in.Net
+	net.Workers = 0
+	m := in.MCODE
+	if m == (mcode.Params{}) {
+		m = mcode.DefaultParams()
+	}
+	return Key{
+		Input:      in.Name,
+		Stage:      s,
+		Variant:    v,
+		OrderSeed:  in.OrderSeed,
+		FilterSeed: in.FilterSeed,
+		Net:        net,
+		MCODE:      m,
+	}
+}
+
+// mcodeParams resolves the input's clustering config.
+func (in Input) mcodeParams() mcode.Params {
+	if in.MCODE == (mcode.Params{}) {
+		return mcode.DefaultParams()
+	}
+	return in.MCODE
+}
+
+// Filtered is the Filter stage's artifact: the sampling result plus the
+// materialized subgraph.
+type Filtered struct {
+	Result *sampling.Result
+	Graph  *graph.Graph
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// MaxBytes is the artifact store budget (≤ 0 → DefaultStoreBytes).
+	MaxBytes int64
+	// Workers bounds concurrently running stage kernels across all requests
+	// (≤ 0 → GOMAXPROCS). Dependency resolution never holds a worker slot,
+	// so nested stages cannot deadlock the budget.
+	Workers int
+}
+
+// Engine executes stage-graph requests over a shared artifact store.
+// All methods are safe for concurrent use.
+type Engine struct {
+	store *Store
+	sem   chan struct{}
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{store: NewStore(cfg.MaxBytes), sem: make(chan struct{}, w)}
+}
+
+// Stats returns the artifact store counters.
+func (e *Engine) Stats() StoreStats { return e.store.Stats() }
+
+// slot acquires a bounded-concurrency worker slot, or fails once ctx is
+// cancelled. Stage computes hold a slot only around their own kernel, never
+// while resolving dependencies.
+func (e *Engine) slot(ctx context.Context) (release func(), err error) {
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// get is the typed request path: singleflight + cache via the store, with
+// per-request tracing.
+func get[T any](ctx context.Context, e *Engine, key Key, compute func(context.Context) (T, int64, error)) (T, error) {
+	start := time.Now()
+	v, src, err := e.store.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
+		return compute(ctx)
+	})
+	traceRecord(ctx, key, src, time.Since(start), err)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Network returns the input's network: Input.G when set, otherwise the
+// correlation network built from Input.Matrix under Input.Net.
+func (e *Engine) Network(ctx context.Context, in Input) (*graph.Graph, error) {
+	if in.G != nil {
+		// Adopted input network: nothing to compute or cache, but traced
+		// consumers still see one entry per pipeline stage.
+		traceRecord(ctx, in.key(StageNetwork, Original), Hit, 0, nil)
+		return in.G, nil
+	}
+	if in.Matrix == nil {
+		return nil, fmt.Errorf("pipeline: input %q has neither a network nor a matrix", in.Name)
+	}
+	return get(ctx, e, in.key(StageNetwork, Original), func(ctx context.Context) (*graph.Graph, int64, error) {
+		release, err := e.slot(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		g, err := expr.BuildNetworkContext(ctx, in.Matrix, in.Net)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, graphBytes(g), nil
+	})
+}
+
+// Order returns the vertex processing order of the input's network under o.
+func (e *Engine) Order(ctx context.Context, in Input, o graph.Ordering) ([]int32, error) {
+	v := Variant{Ordering: o, Algorithm: -1, P: 0}
+	return get(ctx, e, in.key(StageOrder, v), func(ctx context.Context) ([]int32, int64, error) {
+		g, err := e.Network(ctx, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		release, err := e.slot(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		ord := graph.Order(g, o, in.OrderSeed)
+		return ord, int64(4 * len(ord)), nil
+	})
+}
+
+// Filtered returns the sampled network of a non-original variant.
+func (e *Engine) Filtered(ctx context.Context, in Input, v Variant) (*Filtered, error) {
+	if v.IsOriginal() {
+		return nil, fmt.Errorf("pipeline: Filtered of the original network (input %q)", in.Name)
+	}
+	return get(ctx, e, in.key(StageFilter, v), func(ctx context.Context) (*Filtered, int64, error) {
+		g, err := e.Network(ctx, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		ord, err := e.Order(ctx, in, v.Ordering)
+		if err != nil {
+			return nil, 0, err
+		}
+		release, err := e.slot(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		res, err := sampling.RunContext(ctx, v.Algorithm, g, sampling.Options{
+			Order: ord,
+			P:     v.P,
+			Seed:  in.FilterSeed,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		fg := res.Graph(g.N())
+		f := &Filtered{Result: res, Graph: fg}
+		return f, graphBytes(fg) + int64(16*res.Edges.Len()), nil
+	})
+}
+
+// Graph returns the variant's network: the input network for Original, the
+// filtered subgraph otherwise.
+func (e *Engine) Graph(ctx context.Context, in Input, v Variant) (*graph.Graph, error) {
+	if v.IsOriginal() {
+		return e.Network(ctx, in)
+	}
+	f, err := e.Filtered(ctx, in, v)
+	if err != nil {
+		return nil, err
+	}
+	return f.Graph, nil
+}
+
+// Clusters returns the MCODE complexes of the variant's network.
+func (e *Engine) Clusters(ctx context.Context, in Input, v Variant) ([]mcode.Cluster, error) {
+	return get(ctx, e, in.key(StageCluster, v), func(ctx context.Context) ([]mcode.Cluster, int64, error) {
+		g, err := e.Graph(ctx, in, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		release, err := e.slot(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		cs, err := mcode.FindClustersContext(ctx, g, in.mcodeParams())
+		if err != nil {
+			return nil, 0, err
+		}
+		return cs, clustersBytes(cs), nil
+	})
+}
+
+// Scored returns the variant's clusters scored against the input ontology.
+func (e *Engine) Scored(ctx context.Context, in Input, v Variant) ([]analysis.ScoredCluster, error) {
+	if in.DAG == nil || in.Ann == nil {
+		return nil, fmt.Errorf("pipeline: input %q has no ontology to score against", in.Name)
+	}
+	return get(ctx, e, in.key(StageScore, v), func(ctx context.Context) ([]analysis.ScoredCluster, int64, error) {
+		cs, err := e.Clusters(ctx, in, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := e.Graph(ctx, in, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		release, err := e.slot(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		sc, err := analysis.ScoreClustersContext(ctx, in.DAG, in.Ann, g, cs)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sc, clustersBytes(cs) + int64(64*len(sc)), nil
+	})
+}
+
+// Matches returns the match table of a filtered variant's scored clusters
+// against the original network's (analysis.MatchClusters).
+func (e *Engine) Matches(ctx context.Context, in Input, v Variant) ([]analysis.Match, error) {
+	if v.IsOriginal() {
+		return nil, fmt.Errorf("pipeline: Matches of the original against itself (input %q)", in.Name)
+	}
+	return get(ctx, e, in.key(StageMatch, v), func(ctx context.Context) ([]analysis.Match, int64, error) {
+		orig, err := e.Scored(ctx, in, Original)
+		if err != nil {
+			return nil, 0, err
+		}
+		filt, err := e.Scored(ctx, in, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		gOrig, err := e.Network(ctx, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		gFilt, err := e.Graph(ctx, in, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		release, err := e.slot(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer release()
+		ms, err := analysis.MatchClustersContext(ctx, gOrig, orig, gFilt, filt)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ms, int64(48 * len(ms)), nil
+	})
+}
+
+// Warm computes the Scored artifact of every listed variant concurrently
+// (bounded by the engine's worker budget) and returns the first error.
+// Figure drivers call it before their read loops so independent
+// filter→cluster→score chains overlap across variants; subsequent reads are
+// cache hits.
+func (e *Engine) Warm(ctx context.Context, in Input, vs ...Variant) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	errs := make([]error, len(vs))
+	var wg sync.WaitGroup
+	for i, v := range vs {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			_, errs[i] = e.Scored(ctx, in, v)
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ byte estimates
+
+// graphBytes estimates a CSR graph's resident size: offsets plus both
+// directions of the neighbor arena, plus dense adjacency rows on universes
+// small enough that the kernels build them (mcode.FindClusters calls
+// EnsureDense below 2^14 vertices).
+func graphBytes(g *graph.Graph) int64 {
+	n, m := int64(g.N()), int64(g.M())
+	b := 4*(n+1) + 8*m
+	if g.N() <= 1<<14 {
+		b += n * n / 8
+	}
+	return b
+}
+
+// clustersBytes estimates a cluster list's resident size.
+func clustersBytes(cs []mcode.Cluster) int64 {
+	b := int64(64 * len(cs))
+	for i := range cs {
+		b += int64(4 * len(cs[i].Vertices))
+	}
+	return b
+}

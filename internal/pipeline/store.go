@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Source reports how a Store.Do call obtained its artifact.
+type Source int
+
+const (
+	// Computed: this call ran the compute function (cache miss).
+	Computed Source = iota
+	// Hit: the artifact was resident in the store.
+	Hit
+	// Shared: another in-flight computation of the same key was joined.
+	Shared
+)
+
+// String returns the lowercase name used in traces and stats.
+func (s Source) String() string {
+	switch s {
+	case Computed:
+		return "computed"
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+// StoreStats is a snapshot of the store's counters.
+type StoreStats struct {
+	// Hits counts requests served from a resident entry.
+	Hits int64
+	// Misses counts requests that ran the compute function.
+	Misses int64
+	// Shared counts requests that joined another caller's in-flight
+	// computation instead of computing a second time.
+	Shared int64
+	// Evictions counts entries dropped by the LRU byte budget.
+	Evictions int64
+	// Entries is the current resident entry count.
+	Entries int
+	// BytesUsed is the current resident byte estimate.
+	BytesUsed int64
+	// BytesBudget is the configured byte budget.
+	BytesBudget int64
+	// Inflight is the number of computations currently running.
+	Inflight int
+}
+
+// Store is the keyed artifact store behind the Engine: a memoization map
+// with singleflight deduplication (concurrent requests for one key compute
+// once), LRU eviction under a byte budget, and hit/miss/inflight counters.
+//
+// Failure discipline: only successful computations are inserted. A compute
+// that returns an error — in particular a context cancellation — leaves no
+// entry behind (no "poisoned" artifacts), and waiters that joined a
+// cancelled computation retry with their own context instead of inheriting
+// the owner's cancellation.
+type Store struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	used      int64
+	entries   map[Key]*list.Element
+	lru       *list.List // front = most recently used *entry
+	inflight  map[Key]*flight
+	hits      int64
+	misses    int64
+	shared    int64
+	evictions int64
+}
+
+type entry struct {
+	key   Key
+	val   any
+	bytes int64
+}
+
+type flight struct {
+	done chan struct{} // closed once val/err are set
+	val  any
+	err  error
+}
+
+// NewStore creates a store evicting least-recently-used artifacts once the
+// resident estimate exceeds maxBytes (≤ 0 selects DefaultStoreBytes).
+func NewStore(maxBytes int64) *Store {
+	if maxBytes <= 0 {
+		maxBytes = DefaultStoreBytes
+	}
+	return &Store{
+		maxBytes: maxBytes,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// DefaultStoreBytes is the artifact budget used when a configuration leaves
+// it unset: enough for every artifact of the paper's four-network evaluation
+// with room to spare, small enough to bound a long-running server.
+const DefaultStoreBytes int64 = 256 << 20
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Shared:      s.shared,
+		Evictions:   s.evictions,
+		Entries:     s.lru.Len(),
+		BytesUsed:   s.used,
+		BytesBudget: s.maxBytes,
+		Inflight:    len(s.inflight),
+	}
+}
+
+// Do returns the artifact for key, computing it at most once across
+// concurrent callers. compute returns the value plus its resident byte
+// estimate; it runs without store locks held. The returned Source reports
+// whether this call hit the cache, joined an in-flight computation, or
+// computed.
+func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (any, int64, error)) (any, Source, error) {
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			s.lru.MoveToFront(el)
+			s.hits++
+			v := el.Value.(*entry).val
+			s.mu.Unlock()
+			return v, Hit, nil
+		}
+		if f, ok := s.inflight[key]; ok {
+			s.shared++
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, Shared, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, Shared, nil
+			}
+			// The owner failed. Its cancellation is not ours: if this
+			// caller's context is still live, loop and recompute; any other
+			// error is the artifact's own and is shared with every waiter.
+			if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+				return nil, Shared, f.err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, Shared, err
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		s.misses++
+		s.mu.Unlock()
+
+		val, bytes, err := compute(ctx)
+		f.val, f.err = val, err
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			s.insert(key, val, bytes)
+		}
+		s.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, Computed, err
+		}
+		return val, Computed, nil
+	}
+}
+
+// insert adds a resident entry and evicts from the LRU tail until the byte
+// estimate fits the budget. The just-inserted entry is never evicted, so an
+// artifact larger than the whole budget is still served (and evicted by the
+// next insert). Caller holds mu.
+func (s *Store) insert(key Key, val any, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if el, ok := s.entries[key]; ok {
+		// Possible when a key was evicted and recomputed by two waiters of a
+		// cancelled owner; keep the newer value.
+		e := el.Value.(*entry)
+		s.used += bytes - e.bytes
+		e.val, e.bytes = val, bytes
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[key] = s.lru.PushFront(&entry{key: key, val: val, bytes: bytes})
+		s.used += bytes
+	}
+	for s.used > s.maxBytes && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.entries, e.key)
+		s.used -= e.bytes
+		s.evictions++
+	}
+}
+
+// Len returns the resident entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Contains reports whether key is resident (without touching LRU order).
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}

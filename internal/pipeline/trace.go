@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// TraceEntry records one stage request observed by a traced context: which
+// artifact, whether it was computed / served resident / joined in-flight,
+// and how long the request took (for hits, effectively zero).
+type TraceEntry struct {
+	Key      Key
+	Source   Source
+	Duration time.Duration
+	Err      error
+}
+
+// Trace collects the stage requests of one pipeline run. Safe for
+// concurrent use (stages fan out across goroutines).
+type Trace struct {
+	mu      sync.Mutex
+	entries []TraceEntry
+}
+
+// Entries returns a snapshot of the recorded entries in request-completion
+// order.
+func (t *Trace) Entries() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEntry(nil), t.entries...)
+}
+
+type traceCtxKey struct{}
+
+// WithTrace returns a context whose engine requests record into the
+// returned Trace — the per-request observability hook behind the facade's
+// stage timings and the CLI's timing table.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	t := &Trace{}
+	return context.WithValue(ctx, traceCtxKey{}, t), t
+}
+
+// traceRecord appends an entry when ctx carries a Trace.
+func traceRecord(ctx context.Context, key Key, src Source, d time.Duration, err error) {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.entries = append(t.entries, TraceEntry{Key: key, Source: src, Duration: d, Err: err})
+	t.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"sort"
 
 	"parsample/internal/chordal"
@@ -11,26 +12,32 @@ import (
 // chordalSequential runs the Dearing–Shier–Warner filter on the whole graph.
 // The DSW edge list is duplicate free by construction, so it is wrapped
 // directly — no set is materialized.
-func chordalSequential(g *graph.Graph, opts Options) *Result {
-	cr := chordal.MaximalSubgraph(g, opts.Order)
+func chordalSequential(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	cr, err := chordal.MaximalSubgraphContext(ctx, g, opts.Order)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Algorithm: ChordalSeq, Edges: cr.Edges}
 	res.Stats.P = 1
 	res.Stats.RankOps = []int64{cr.Ops}
-	return res
+	return res, nil
 }
 
 // localChordal computes the maximal chordal subgraph of the edges fully
 // inside one partition block, accumulating edges in global vertex ids into
 // out. The block's position in the global processing order is preserved.
-func localChordal(g *graph.Graph, block []int32, out graph.EdgeCollection) int64 {
+func localChordal(ctx context.Context, g *graph.Graph, block []int32, out graph.EdgeCollection) (int64, error) {
 	sub, toGlobal := g.CompactSubgraph(block)
 	// CompactSubgraph labels block[i] as local vertex i, so the local natural
 	// order is exactly the block's slice of the global processing order.
-	cr := chordal.MaximalSubgraph(sub, graph.NaturalOrder(sub.N()))
+	cr, err := chordal.MaximalSubgraphContext(ctx, sub, graph.NaturalOrder(sub.N()))
+	if err != nil {
+		return 0, err
+	}
 	for _, e := range cr.Edges {
 		out.Add(toGlobal[e.U], toGlobal[e.V])
 	}
-	return cr.Ops
+	return cr.Ops, nil
 }
 
 // chordalNoComm is the paper's improved communication-free parallel chordal
@@ -41,21 +48,28 @@ func localChordal(g *graph.Graph, block []int32, out graph.EdgeCollection) int64
 // duplicates are removed in the sequential merge. The sampling phase sends
 // no point-to-point messages; partial results reach the merge through one
 // Gatherv.
-func chordalNoComm(g *graph.Graph, opts Options) *Result {
+func chordalNoComm(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	parts := make([]rankResult, p)
 	comm := newComm(opts, p)
+	defer comm.AbortOnCancel(ctx)()
 	comm.Run(func(r *mpisim.Rank) {
 		rank := r.ID()
 		block := pt.Parts[rank]
 		local := graph.NewAccumulator(g.N(), 0)
-		ops := localChordal(g, block, local)
+		ops, err := localChordal(ctx, g, block, local)
+		if err != nil {
+			r.Abort()
+		}
 		// Group border edges by their external endpoint. External endpoints
 		// are collected per rank into a flat list sorted by endpoint — the
 		// grouping needs no hash map.
 		var borders []graph.Edge // {external x, internal a}
-		for _, a := range block {
+		for bi, a := range block {
+			if bi%4096 == 0 {
+				abortIfCancelled(ctx, r)
+			}
 			for _, x := range g.Neighbors(a) {
 				if pt.Part[x] != int32(rank) {
 					borders = append(borders, graph.Edge{U: x, V: a})
@@ -64,7 +78,10 @@ func chordalNoComm(g *graph.Graph, opts Options) *Result {
 			}
 		}
 		sortByExternal(borders)
-		for lo := 0; lo < len(borders); {
+		for lo, groups := 0, 0; lo < len(borders); groups++ {
+			if groups%1024 == 0 {
+				abortIfCancelled(ctx, r)
+			}
 			hi := lo + 1
 			for hi < len(borders) && borders[hi].U == borders[lo].U {
 				hi++
@@ -87,7 +104,10 @@ func chordalNoComm(g *graph.Graph, opts Options) *Result {
 		gatherParts(r, rankResult{edges: local}, parts)
 	})
 	_, border := pt.InternalEdgeCount(g)
-	return mergeRanks(ChordalNoComm, g.N(), parts, border, comm)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeRanks(ChordalNoComm, g.N(), parts, border, comm), nil
 }
 
 // sortByExternal sorts border records by their external endpoint (U), with
@@ -124,11 +144,12 @@ const msgChunk = 64
 // no border volume can deadlock the run (the earlier bounded-mailbox runtime
 // wedged at P ≥ 3 once any partition pair carried more than ~4096 mutual
 // border edges).
-func chordalWithComm(g *graph.Graph, opts Options) *Result {
+func chordalWithComm(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	parts := make([]rankResult, p)
 	comm := newComm(opts, p)
+	defer comm.AbortOnCancel(ctx)()
 
 	// Precompute, per ordered pair (sender < receiver), the mutual border
 	// edges as seen from the sender side.
@@ -152,7 +173,11 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 		rank := r.ID()
 		block := pt.Parts[rank]
 		local := graph.NewAccumulator(g.N(), 0)
-		r.Compute(localChordal(g, block, local))
+		ops, err := localChordal(ctx, g, block, local)
+		if err != nil {
+			r.Abort()
+		}
+		r.Compute(ops)
 
 		// Send mutual border edges to every higher-ranked partner sharing a
 		// border, chunked, with an end-of-stream sentinel. Sends never
@@ -193,6 +218,7 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 			}
 		}
 		for len(sources) > 0 {
+			abortIfCancelled(ctx, r)
 			msg := r.AnyRecv(sources)
 			bm := msg.Payload.(borderMsg)
 			if len(bm.edges) == 0 {
@@ -248,5 +274,8 @@ func chordalWithComm(g *graph.Graph, opts Options) *Result {
 	})
 
 	_, border := pt.InternalEdgeCount(g)
-	return mergeRanks(ChordalComm, g.N(), parts, border, comm)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeRanks(ChordalComm, g.N(), parts, border, comm), nil
 }

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -116,7 +117,10 @@ func TestWalkEdgesEdgelessOnlyRestarts(t *testing.T) {
 	g := graph.NewBuilder(10).Build() // no edges
 	verts := graph.NaturalOrder(10)
 	set := graph.NewAccumulator(10, 0)
-	ops, restarts := walkEdges(verts, g.Neighbors, 5, rand.New(rand.NewSource(1)), set)
+	ops, restarts, err := walkEdges(context.Background(), verts, g.Neighbors, 5, rand.New(rand.NewSource(1)), set)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ops != 0 {
 		t.Fatalf("charged %d ops with no selectable edges", ops)
 	}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 
 	"parsample/internal/graph"
@@ -19,11 +20,12 @@ import (
 // been selected (repeat selections across fires count, as in the random
 // walk). pf is the forward-burning probability. Selected edges accumulate
 // into set; n is the vertex universe (for the burn-tag array).
-func forestFire(verts []int32, n int, neighbors func(int32) []int32, selections int,
-	pf float64, rng *rand.Rand, set graph.EdgeCollection) int64 {
+// ctx is polled once per fire; a cancelled run returns early with ctx.Err().
+func forestFire(ctx context.Context, verts []int32, n int, neighbors func(int32) []int32, selections int,
+	pf float64, rng *rand.Rand, set graph.EdgeCollection) (int64, error) {
 	var ops int64
 	if len(verts) == 0 || selections <= 0 {
-		return ops
+		return ops, nil
 	}
 	// burnedAt is O(n) per rank (all ranks run concurrently); int32 halves
 	// the footprint versus int.
@@ -32,6 +34,9 @@ func forestFire(verts []int32, n int, neighbors func(int32) []int32, selections 
 	sel := 0
 	idle := 0
 	for sel < selections {
+		if err := ctx.Err(); err != nil {
+			return ops, err
+		}
 		fire++
 		if idle > len(verts) {
 			break // nothing left to burn anywhere
@@ -74,19 +79,22 @@ func forestFire(verts []int32, n int, neighbors func(int32) []int32, selections 
 			idle++
 		}
 	}
-	return ops
+	return ops, nil
 }
 
 // forestFireSequential applies the forest-fire filter to the whole network.
-func forestFireSequential(g *graph.Graph, opts Options) *Result {
+func forestFireSequential(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	verts := graph.NaturalOrder(g.N())
 	set := graph.NewAccumulator(g.N(), g.M()/4)
-	ops := forestFire(verts, g.N(), g.Neighbors, g.M()/2, defaultForwardProb, rng, set)
+	ops, err := forestFire(ctx, verts, g.N(), g.Neighbors, g.M()/2, defaultForwardProb, rng, set)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Algorithm: ForestFireSeq, Edges: set}
 	res.Stats.P = 1
 	res.Stats.RankOps = []int64{ops}
-	return res
+	return res, nil
 }
 
 // defaultForwardProb is Leskovec's recommended forward-burning probability.
@@ -96,12 +104,13 @@ const defaultForwardProb = 0.7
 // local fires over internal edges, hash-coin admission for border edges
 // (communication-free, like the parallel random walk); partial results reach
 // the merge rank through one Gatherv.
-func forestFireParallel(g *graph.Graph, opts Options) *Result {
+func forestFireParallel(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	internal, border := pt.InternalEdgeCount(g)
 	parts := make([]rankResult, p)
 	comm := newComm(opts, p)
+	defer comm.AbortOnCancel(ctx)()
 	comm.Run(func(r *mpisim.Rank) {
 		rank := r.ID()
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*104729))
@@ -116,8 +125,14 @@ func forestFireParallel(g *graph.Graph, opts Options) *Result {
 			return out
 		}
 		set := graph.NewAccumulator(g.N(), internal[rank]/4)
-		ops := forestFire(block, g.N(), nb, internal[rank]/2, defaultForwardProb, rng, set)
-		for _, a := range block {
+		ops, err := forestFire(ctx, block, g.N(), nb, internal[rank]/2, defaultForwardProb, rng, set)
+		if err != nil {
+			r.Abort()
+		}
+		for bi, a := range block {
+			if bi%4096 == 0 {
+				abortIfCancelled(ctx, r)
+			}
 			for _, x := range g.Neighbors(a) {
 				if pt.Part[x] != int32(rank) {
 					ops++
@@ -130,5 +145,8 @@ func forestFireParallel(g *graph.Graph, opts Options) *Result {
 		r.Compute(ops)
 		gatherParts(r, rankResult{edges: set}, parts)
 	})
-	return mergeRanks(ForestFirePar, g.N(), parts, border, comm)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeRanks(ForestFirePar, g.N(), parts, border, comm), nil
 }

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 
 	"parsample/internal/graph"
@@ -21,14 +22,19 @@ import (
 // counted separately so dead-end retries on sparse partitions do not
 // inflate the modeled per-rank work (they still show up in
 // RunStats.Restarts for diagnostics).
-func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
-	rng *rand.Rand, set graph.EdgeCollection) (ops, restarts int64) {
+// ctx is polled every 4096 selections; a cancelled walk returns early with
+// ctx.Err() (the partial edge set in `set` is then discarded by the caller).
+func walkEdges(ctx context.Context, verts []int32, neighbors func(int32) []int32, selections int,
+	rng *rand.Rand, set graph.EdgeCollection) (ops, restarts int64, err error) {
 	if len(verts) == 0 || selections <= 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	cur := verts[rng.Intn(len(verts))]
 	failures := 0
 	for sel := 0; sel < selections; sel++ {
+		if sel%4096 == 0 && ctx.Err() != nil {
+			return ops, restarts, ctx.Err()
+		}
 		nb := neighbors(cur)
 		if len(nb) == 0 {
 			// Uniform restart; bail out if the whole view appears edgeless
@@ -48,22 +54,25 @@ func walkEdges(verts []int32, neighbors func(int32) []int32, selections int,
 		set.Add(cur, next)
 		cur = next
 	}
-	return ops, restarts
+	return ops, restarts, nil
 }
 
 // randomWalkSequential is the sequential random-walk control filter: the
 // traversal continues until the number of edge selections is half the total
 // number of edges of the network.
-func randomWalkSequential(g *graph.Graph, opts Options) *Result {
+func randomWalkSequential(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	verts := graph.NaturalOrder(g.N())
 	set := graph.NewAccumulator(g.N(), g.M()/4)
-	ops, restarts := walkEdges(verts, g.Neighbors, g.M()/2, rng, set)
+	ops, restarts, err := walkEdges(ctx, verts, g.Neighbors, g.M()/2, rng, set)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Algorithm: RandomWalkSeq, Edges: set}
 	res.Stats.P = 1
 	res.Stats.RankOps = []int64{ops}
 	res.Stats.Restarts = restarts
-	return res
+	return res, nil
 }
 
 // randomWalkParallel partitions the network like the chordal samplers; each
@@ -73,12 +82,13 @@ func randomWalkSequential(g *graph.Graph, opts Options) *Result {
 // of a border make the same decision without communicating (the paper's
 // "binary random value"), keeping the filter perfectly scalable. The only
 // communication is the final Gatherv of partial results to the merge rank.
-func randomWalkParallel(g *graph.Graph, opts Options) *Result {
+func randomWalkParallel(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	internal, border := pt.InternalEdgeCount(g)
 	parts := make([]rankResult, p)
 	comm := newComm(opts, p)
+	defer comm.AbortOnCancel(ctx)()
 	comm.Run(func(r *mpisim.Rank) {
 		rank := r.ID()
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*7919))
@@ -94,9 +104,15 @@ func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 			return out
 		}
 		set := graph.NewAccumulator(g.N(), internal[rank]/4)
-		ops, restarts := walkEdges(block, nb, internal[rank]/2, rng, set)
+		ops, restarts, err := walkEdges(ctx, block, nb, internal[rank]/2, rng, set)
+		if err != nil {
+			r.Abort()
+		}
 		// Border edges incident on this partition: coin-flip admission.
-		for _, a := range block {
+		for bi, a := range block {
+			if bi%4096 == 0 {
+				abortIfCancelled(ctx, r)
+			}
 			for _, x := range g.Neighbors(a) {
 				if pt.Part[x] != int32(rank) {
 					ops++
@@ -109,7 +125,10 @@ func randomWalkParallel(g *graph.Graph, opts Options) *Result {
 		r.Compute(ops)
 		gatherParts(r, rankResult{edges: set, restarts: restarts}, parts)
 	})
-	return mergeRanks(RandomWalkPar, g.N(), parts, border, comm)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeRanks(RandomWalkPar, g.N(), parts, border, comm), nil
 }
 
 // edgeCoin is a deterministic fair coin on a normalized edge.

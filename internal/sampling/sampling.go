@@ -15,6 +15,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 
 	"parsample/internal/graph"
@@ -121,6 +122,18 @@ func (r *Result) Graph(n int) *graph.Graph { return r.Edges.Graph(n) }
 
 // Run applies the given filter to g.
 func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
+	return RunContext(context.Background(), alg, g, opts)
+}
+
+// RunContext is Run with cooperative cancellation. Sequential filters poll
+// ctx inside their traversal loops; parallel filters additionally tie the
+// simulated runtime to ctx (mpisim.Comm.AbortOnCancel), so ranks blocked in
+// receives or collectives unwind promptly when ctx is cancelled. A
+// cancelled run returns (nil, ctx.Err()) and leaks no goroutines; a
+// completed run is identical to Run (the determinism contract is
+// unaffected — ctx only decides whether the run finishes, never what it
+// computes).
+func RunContext(ctx context.Context, alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Order == nil {
 		opts.Order = graph.NaturalOrder(g.N())
 	}
@@ -132,21 +145,31 @@ func Run(alg Algorithm, g *graph.Graph, opts Options) (*Result, error) {
 	}
 	switch alg {
 	case ChordalSeq:
-		return chordalSequential(g, opts), nil
+		return chordalSequential(ctx, g, opts)
 	case ChordalComm:
-		return chordalWithComm(g, opts), nil
+		return chordalWithComm(ctx, g, opts)
 	case ChordalNoComm:
-		return chordalNoComm(g, opts), nil
+		return chordalNoComm(ctx, g, opts)
 	case RandomWalkSeq:
-		return randomWalkSequential(g, opts), nil
+		return randomWalkSequential(ctx, g, opts)
 	case RandomWalkPar:
-		return randomWalkParallel(g, opts), nil
+		return randomWalkParallel(ctx, g, opts)
 	case ForestFireSeq:
-		return forestFireSequential(g, opts), nil
+		return forestFireSequential(ctx, g, opts)
 	case ForestFirePar:
-		return forestFireParallel(g, opts), nil
+		return forestFireParallel(ctx, g, opts)
 	}
 	return nil, fmt.Errorf("sampling: unknown algorithm %d", int(alg))
+}
+
+// abortIfCancelled unwinds the calling rank goroutine when ctx is
+// cancelled; Comm.Run recovers the unwind and the sampler returns ctx.Err().
+// Rank compute loops call this at coarse strides so a cancelled parallel
+// run terminates promptly even when no rank is blocked in the runtime.
+func abortIfCancelled(ctx context.Context, r *mpisim.Rank) {
+	if ctx.Err() != nil {
+		r.Abort()
+	}
 }
 
 // rankResult is a per-processor partial result, gathered to rank 0 by the

@@ -33,13 +33,21 @@
 //	b.AddEdge(1, 2)
 //	g := b.Build() // sorted, deduplicated CSR
 //
+// End-to-end runs (matrix or network → filter → clusters → scores) go
+// through RunPipeline, or through a reusable Pipeline whose memoizing
+// artifact store serves many concurrent requests (see the Pipeline type and
+// DESIGN.md §5).
+//
 // See the examples/ directory for full end-to-end programs and
 // internal/experiments for the drivers that regenerate every figure of the
 // paper's evaluation.
 package parsample
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"time"
 
 	"parsample/internal/analysis"
 	"parsample/internal/chordal"
@@ -47,6 +55,7 @@ import (
 	"parsample/internal/graph"
 	"parsample/internal/mcode"
 	"parsample/internal/ontology"
+	"parsample/internal/pipeline"
 	"parsample/internal/sampling"
 )
 
@@ -89,6 +98,11 @@ type (
 	DAG = ontology.DAG
 	// Annotations maps genes to ontology terms.
 	Annotations = ontology.Annotations
+	// ClusterParams configures MCODE clustering (the zero value selects the
+	// paper's defaults in pipeline runs; see mcode.Params).
+	ClusterParams = mcode.Params
+	// PipelineStats is a snapshot of a Pipeline's artifact-store counters.
+	PipelineStats = pipeline.StoreStats
 )
 
 // Orderings studied in the paper.
@@ -223,6 +237,172 @@ func BuildCorrelationNetwork(m *Matrix, opts NetworkOptions) *Graph {
 // paper's 0.95 choice).
 func CorrelationThresholdSweep(m *Matrix, thresholds []float64, opts NetworkOptions) []SweepPoint {
 	return expr.ThresholdSweep(m, thresholds, opts)
+}
+
+// ------------------------------------------------------------- the pipeline
+
+// PipelineInput is one end-to-end request: a network (or an expression
+// matrix to build one from), a filter configuration, and optionally an
+// ontology to score clusters against.
+type PipelineInput struct {
+	// Name uniquely identifies the input data and namespaces its cached
+	// artifacts. Two runs against one Pipeline with the same Name are
+	// assumed to carry the same Graph/Matrix/DAG/Ann. Required for
+	// Pipeline.Run; RunPipeline defaults it (fresh engine, no collision
+	// risk).
+	Name string
+	// Graph is the input network. Leave nil to build it from Matrix.
+	Graph *Graph
+	// Matrix is the expression matrix used when Graph is nil.
+	Matrix *Matrix
+	// Network configures correlation-network construction from Matrix
+	// (NetworkOptions semantics; start from DefaultNetworkOptions for the
+	// paper's thresholds).
+	Network NetworkOptions
+	// Filter selects the sampling algorithm, ordering, processor count and
+	// seed. As in Filter, the ordering shuffle and the samplers draw from
+	// decorrelated streams derived from Filter.Seed.
+	Filter FilterOptions
+	// DAG and Ann enable the scoring stage when both are set.
+	DAG *DAG
+	Ann *Annotations
+	// Clusters configures MCODE (zero value: the paper's defaults).
+	Clusters ClusterParams
+}
+
+// StageTiming is one engine request observed during a pipeline run.
+type StageTiming struct {
+	// Stage is the stage name: network, order, filter, cluster, score.
+	Stage string
+	// Variant is "orig" or "ordering/algorithm/P".
+	Variant string
+	// Source is "computed", "hit" or "shared" (joined another request's
+	// in-flight computation).
+	Source string
+	// Duration is the request's wall time (≈ 0 for hits).
+	Duration time.Duration
+}
+
+// PipelineResult is the output of one end-to-end run.
+type PipelineResult struct {
+	// Network is the input (or built correlation) network.
+	Network *Graph
+	// Filter is the sampling run, including parallel telemetry.
+	Filter *Result
+	// Filtered is the sampled subgraph.
+	Filtered *Graph
+	// Clusters are the MCODE complexes of the filtered network.
+	Clusters []Cluster
+	// Scored is Clusters scored against the ontology (nil unless DAG and
+	// Ann were provided).
+	Scored []ScoredCluster
+	// Timings lists the engine requests of this run in completion order.
+	Timings []StageTiming
+}
+
+// PipelineConfig parameterizes a reusable Pipeline.
+type PipelineConfig struct {
+	// CacheBytes is the artifact-store budget (0: a 256 MiB default).
+	CacheBytes int64
+	// Workers bounds concurrently executing stage kernels (0: GOMAXPROCS).
+	Workers int
+}
+
+// Pipeline is the reusable, concurrency-safe form of the end-to-end run: a
+// typed stage-graph engine (internal/pipeline) whose artifact store
+// memoizes every stage under deterministic keys, deduplicates concurrent
+// identical requests (singleflight), and evicts least-recently-used
+// artifacts under a byte budget. Many goroutines may call Run
+// simultaneously; overlapping requests share work and cache.
+type Pipeline struct {
+	eng *pipeline.Engine
+}
+
+// NewPipeline creates a Pipeline.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	return &Pipeline{eng: pipeline.New(pipeline.Config{MaxBytes: cfg.CacheBytes, Workers: cfg.Workers})}
+}
+
+// Stats returns the artifact-store counters (hits, misses, in-flight joins,
+// evictions, resident bytes).
+func (p *Pipeline) Stats() PipelineStats { return p.eng.Stats() }
+
+// Run executes the pipeline end to end: network → order → filter → cluster
+// (→ score when an ontology is present). ctx cancels the run mid-kernel;
+// a cancelled run returns ctx.Err(), leaves no partial artifacts in the
+// store, and leaks no goroutines.
+func (p *Pipeline) Run(ctx context.Context, in PipelineInput) (*PipelineResult, error) {
+	if in.Name == "" {
+		return nil, fmt.Errorf("parsample: PipelineInput.Name is required (it namespaces cached artifacts)")
+	}
+	if in.Graph == nil && in.Matrix == nil {
+		return nil, fmt.Errorf("parsample: pipeline input %q has neither a network nor a matrix", in.Name)
+	}
+	pin := pipeline.Input{
+		Name:       in.Name,
+		G:          in.Graph,
+		Matrix:     in.Matrix,
+		Net:        in.Network,
+		DAG:        in.DAG,
+		Ann:        in.Ann,
+		MCODE:      in.Clusters,
+		OrderSeed:  splitSeed(in.Filter.Seed, seedPurposeOrder),
+		FilterSeed: splitSeed(in.Filter.Seed, seedPurposeSampler),
+	}
+	v := pipeline.Variant{Ordering: in.Filter.Ordering, Algorithm: in.Filter.Algorithm, P: in.Filter.P}
+	if v.P < 1 {
+		v.P = 1 // normalized so P=0 and P=1 share one cache key
+	}
+	ctx, trace := pipeline.WithTrace(ctx)
+	net, err := p.eng.Network(ctx, pin)
+	if err != nil {
+		return nil, err
+	}
+	filt, err := p.eng.Filtered(ctx, pin, v)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := p.eng.Clusters(ctx, pin, v)
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{
+		Network:  net,
+		Filter:   filt.Result,
+		Filtered: filt.Graph,
+		Clusters: clusters,
+	}
+	if in.DAG != nil && in.Ann != nil {
+		if res.Scored, err = p.eng.Scored(ctx, pin, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range trace.Entries() {
+		res.Timings = append(res.Timings, StageTiming{
+			Stage:    e.Key.Stage.String(),
+			Variant:  e.Key.Variant.String(),
+			Source:   e.Source.String(),
+			Duration: e.Duration,
+		})
+	}
+	return res, nil
+}
+
+// RunPipeline is the one-call end-to-end run on a fresh single-use engine:
+//
+//	res, err := parsample.RunPipeline(ctx, parsample.PipelineInput{
+//	        Matrix:  m,
+//	        Network: parsample.DefaultNetworkOptions(),
+//	        Filter:  parsample.FilterOptions{Algorithm: parsample.ChordalNoComm, Ordering: parsample.HighDegree, P: 8},
+//	})
+//
+// Callers serving repeated or concurrent requests should hold a Pipeline
+// and call Run, which shares the artifact store across requests.
+func RunPipeline(ctx context.Context, in PipelineInput) (*PipelineResult, error) {
+	if in.Name == "" {
+		in.Name = "run"
+	}
+	return NewPipeline(PipelineConfig{}).Run(ctx, in)
 }
 
 // ReadNetwork parses a whitespace edge list (one "u v" pair per line, '#'
