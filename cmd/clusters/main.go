@@ -10,18 +10,23 @@
 //
 // The DAG file uses the format of internal/ontology.WriteDAG; annotations
 // use WriteAnnotations ("gene<TAB>term" lines).
+//
+// The run is one api.Request with an inline edge-list source and the
+// filter algorithm "none" — the same typed request the parsampled daemon
+// serves — so the CLI and the service share one schema, one option
+// vocabulary and one validation path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
+	"strings"
 
-	"parsample/internal/analysis"
-	"parsample/internal/graph"
-	"parsample/internal/mcode"
-	"parsample/internal/ontology"
+	"parsample"
+	"parsample/api"
 )
 
 func main() {
@@ -36,51 +41,54 @@ func main() {
 	)
 	flag.Parse()
 
-	in := io.Reader(os.Stdin)
-	if *inPath != "" {
-		f, err := os.Open(*inPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		in = f
-	}
-	g, err := graph.ReadEdgeList(in)
+	src, err := api.EdgeListFile(*inPath)
 	if err != nil {
-		fatalf("read network: %v", err)
+		fatalf("%v", err)
 	}
-
-	params := mcode.Params{MinScore: *minScore, MinSize: *minSize, Haircut: true, Fluff: *fluffOpt}
-	clusters := mcode.FindClusters(g, params)
-	fmt.Printf("network: %d vertices, %d edges; %d clusters (score >= %.1f, size >= %d)\n",
-		g.N(), g.M(), len(clusters), *minScore, *minSize)
-
-	var scored []analysis.ScoredCluster
+	req := &api.Request{
+		Network: src,
+		Filter:  api.FilterSpec{Algorithm: api.AlgorithmNone},
+		Cluster: api.ClusterSpec{MinScore: minScore, MinSize: minSize, Fluff: *fluffOpt},
+	}
 	if *dagPath != "" {
 		if *annPath == "" {
 			fatalf("-ann is required with -dag")
 		}
-		dag := mustDAG(*dagPath)
-		ann := mustAnn(*annPath)
-		if ann.NumGenes() < g.N() {
-			fatalf("annotations cover %d genes but the network has %d", ann.NumGenes(), g.N())
+		score, err := api.InlineOntologyFiles(*dagPath, *annPath)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		scored = analysis.ScoreClusters(dag, ann, g, clusters)
+		req.Score = score
 	}
 
-	for i, c := range clusters {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	resp, err := parsample.New().Do(ctx, req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("network: %d vertices, %d edges; %d clusters (score >= %.1f, size >= %d)\n",
+		resp.Network.Vertices, resp.Network.Edges, len(resp.Clusters), *minScore, *minSize)
+	for i, c := range resp.Clusters {
 		fmt.Printf("cluster %-3d size %-4d edges %-5d density %.2f score %.2f",
 			c.ID, len(c.Vertices), c.Edges, c.Density, c.Score)
-		if scored != nil {
-			fmt.Printf("  AEES %.2f (dominant term %d)", scored[i].Score.AEES, scored[i].Score.DominantTerm)
+		if resp.Scores != nil {
+			fmt.Printf("  AEES %.2f (dominant term %d)", resp.Scores[i].AEES, resp.Scores[i].DominantTerm)
 		}
 		fmt.Println()
 		fmt.Printf("  vertices: %v\n", c.Vertices)
 	}
 
 	if *dotPath != "" {
-		groups := make([][]int32, len(clusters))
-		for i, c := range clusters {
+		// The DOT rendering needs the host graph itself; parse the same
+		// inline source the request ran on.
+		g, err := parsample.ReadNetwork(strings.NewReader(src.EdgeList))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		groups := make([][]int32, len(resp.Clusters))
+		for i, c := range resp.Clusters {
 			groups[i] = c.Vertices
 		}
 		f, err := os.Create(*dotPath)
@@ -88,37 +96,11 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer f.Close()
-		if err := graph.WriteDOT(f, g, graph.DOTOptions{Name: "clusters", Highlight: groups}); err != nil {
+		if err := parsample.WriteDOT(f, g, parsample.DOTOptions{Name: "clusters", Highlight: groups}); err != nil {
 			fatalf("write dot: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *dotPath)
 	}
-}
-
-func mustDAG(path string) *ontology.DAG {
-	f, err := os.Open(path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-	d, err := ontology.ReadDAG(f)
-	if err != nil {
-		fatalf("read DAG: %v", err)
-	}
-	return d
-}
-
-func mustAnn(path string) *ontology.Annotations {
-	f, err := os.Open(path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-	a, err := ontology.ReadAnnotations(f)
-	if err != nil {
-		fatalf("read annotations: %v", err)
-	}
-	return a
 }
 
 func fatalf(format string, args ...any) {

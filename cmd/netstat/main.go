@@ -6,15 +6,21 @@
 // Usage:
 //
 //	netstat [-in net.txt] [-top 10] [-betweenness]
+//
+// Input loading goes through the service API's network-source grammar
+// (api.EdgeListFile → parsample.Pipeline.NetworkFromSource), so netstat
+// accepts exactly what the daemon accepts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 
+	"parsample"
+	"parsample/api"
 	"parsample/internal/centrality"
 	"parsample/internal/chordal"
 	"parsample/internal/graph"
@@ -28,17 +34,12 @@ func main() {
 	)
 	flag.Parse()
 
-	in := io.Reader(os.Stdin)
-	if *inPath != "" {
-		f, err := os.Open(*inPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "netstat: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
+	src, err := api.EdgeListFile(*inPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netstat: %v\n", err)
+		os.Exit(1)
 	}
-	g, err := graph.ReadEdgeList(in)
+	g, err := parsample.New().NetworkFromSource(context.Background(), src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netstat: %v\n", err)
 		os.Exit(1)

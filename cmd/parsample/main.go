@@ -9,6 +9,13 @@
 // telemetry (edges kept, border edges, duplicates, per-rank operations) to
 // stderr.
 //
+// Subcommands:
+//
+//	parsample pipeline ...   one end-to-end run on the pipeline engine, with
+//	                         per-stage timings (see `parsample pipeline -h`)
+//	parsample serve ...      the HTTP daemon (alias of cmd/parsampled)
+//	parsample request ...    POST an api.Request JSON file to a daemon
+//
 // The pipeline subcommand executes a full end-to-end run on the pipeline
 // engine — network (from an edge list, or built from a synthesized
 // expression matrix) → ordering → filter → MCODE clusters → AEES scores —
@@ -23,19 +30,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
-	"parsample/internal/graph"
-	"parsample/internal/sampling"
+	"parsample"
+	"parsample/internal/server"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "pipeline" {
-		pipelineMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "pipeline":
+			pipelineMain(os.Args[2:])
+			return
+		case "serve":
+			if err := server.RunDaemon("parsample serve", os.Args[2:]); err != nil {
+				fatalf("serve: %v", err)
+			}
+			return
+		case "request":
+			requestMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		algName   = flag.String("alg", "chordal-nocomm", "algorithm: chordal-seq | chordal-comm | chordal-nocomm | randomwalk-seq | randomwalk-par | forestfire-seq | forestfire-par")
@@ -48,11 +68,11 @@ func main() {
 	)
 	flag.Parse()
 
-	alg, ok := parseAlg(*algName)
+	alg, ok := parsample.ParseAlgorithm(*algName)
 	if !ok {
 		fatalf("unknown algorithm %q", *algName)
 	}
-	ord, ok := parseOrder(*orderName)
+	ord, ok := parsample.ParseOrdering(*orderName)
 	if !ok {
 		fatalf("unknown ordering %q", *orderName)
 	}
@@ -66,15 +86,20 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	g, err := graph.ReadEdgeList(in)
+	g, err := parsample.ReadNetwork(in)
 	if err != nil {
 		fatalf("read network: %v", err)
 	}
 
-	res, err := sampling.Run(alg, g, sampling.Options{
-		Order: graph.Order(g, ord, *seed),
-		P:     *p,
-		Seed:  *seed,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// The facade applies the documented seed contract: the ordering shuffle
+	// and the samplers draw from decorrelated streams derived from -seed.
+	res, err := parsample.FilterContext(ctx, g, parsample.FilterOptions{
+		Algorithm: alg,
+		Ordering:  ord,
+		P:         *p,
+		Seed:      *seed,
 	})
 	if err != nil {
 		fatalf("sampling: %v", err)
@@ -89,7 +114,7 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := graph.WriteEdgeList(out, res.Graph(g.N())); err != nil {
+	if err := parsample.WriteNetwork(out, res.Graph(g.N())); err != nil {
 		fatalf("write network: %v", err)
 	}
 
@@ -103,30 +128,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ranks:         %d, bottleneck ops %d, messages %d, bytes %d\n",
 			res.Stats.P, res.Stats.MaxRankOps(), res.Stats.Messages, res.Stats.Bytes)
 	}
-}
-
-func parseAlg(s string) (sampling.Algorithm, bool) {
-	for _, a := range []sampling.Algorithm{
-		sampling.ChordalSeq, sampling.ChordalComm, sampling.ChordalNoComm,
-		sampling.RandomWalkSeq, sampling.RandomWalkPar,
-		sampling.ForestFireSeq, sampling.ForestFirePar,
-	} {
-		if a.String() == s {
-			return a, true
-		}
-	}
-	return 0, false
-}
-
-func parseOrder(s string) (graph.Ordering, bool) {
-	for _, o := range []graph.Ordering{
-		graph.Natural, graph.HighDegree, graph.LowDegree, graph.RCM, graph.RandomOrder,
-	} {
-		if o.String() == s {
-			return o, true
-		}
-	}
-	return 0, false
 }
 
 func fatalf(format string, args ...any) {

@@ -32,11 +32,11 @@ func pipelineMain(args []string) {
 	)
 	fs.Parse(args)
 
-	alg, ok := parseAlg(*algName)
+	alg, ok := parsample.ParseAlgorithm(*algName)
 	if !ok {
 		fatalf("unknown algorithm %q", *algName)
 	}
-	ord, ok := parseOrder(*orderName)
+	ord, ok := parsample.ParseOrdering(*orderName)
 	if !ok {
 		fatalf("unknown ordering %q", *orderName)
 	}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"parsample/api"
+	"parsample/internal/server"
+)
+
+// requestMain runs `parsample request`: POST an api.Request JSON file to a
+// running daemon and print the response body. The request is validated
+// locally first, so schema typos fail with a clear message before any
+// network traffic.
+func requestMain(args []string) {
+	fs := flag.NewFlagSet("parsample request", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "http://localhost:8080", "daemon base URL")
+		inPath  = fs.String("in", "", "api.Request JSON file (default stdin)")
+		timeout = fs.Duration("timeout", 10*time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+
+	body := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("open request: %v", err)
+		}
+		defer f.Close()
+		body = f
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		fatalf("read request: %v", err)
+	}
+	req, err := api.UnmarshalRequest(raw)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := req.Normalized(); err != nil {
+		fatalf("%v", err)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	url := strings.TrimRight(*addr, "/") + "/v1/pipeline"
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("read response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "parsample: daemon returned %s\n%s", resp.Status, out)
+		os.Exit(1)
+	}
+	if c := resp.Header.Get(server.CacheHeader); c != "" {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", c)
+	}
+	os.Stdout.Write(out)
+}

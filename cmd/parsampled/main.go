@@ -1,0 +1,32 @@
+// Command parsampled is the parsample HTTP daemon: the v1 service API
+// (POST /v1/pipeline, async /v1/jobs with SSE progress, /healthz,
+// /statsz) served over one shared memoizing pipeline engine, so identical
+// concurrent requests compute each stage once and warm repeats are served
+// from cache.
+//
+// Usage:
+//
+//	parsampled [-addr :8080] [-cache-mb 256] [-workers N]
+//	           [-datasets YNG,CRE] [-max-body-mb 64]
+//
+// Quick check against a running daemon:
+//
+//	curl -s localhost:8080/healthz
+//	parsample request -addr http://localhost:8080 -in request.json
+//
+// See DESIGN.md §6 for the schema and endpoint semantics.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"parsample/internal/server"
+)
+
+func main() {
+	if err := server.RunDaemon("parsampled", os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "parsampled: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,274 @@
+package parsample
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"parsample/api"
+	"parsample/internal/graph"
+	"parsample/internal/ontology"
+)
+
+func synthRequest() *api.Request {
+	return &api.Request{
+		Network: api.NetworkSource{Synthesis: &api.SynthesisSpec{
+			Genes: 192, Samples: 24, Modules: intp(4), ModuleSize: intp(8), Seed: 7,
+		}},
+		Filter: api.FilterSpec{Algorithm: "chordal-nocomm", Ordering: "HD", P: 4, Seed: 3},
+	}
+}
+
+func intp(v int) *int { return &v }
+
+func TestDoEndToEnd(t *testing.T) {
+	p := New()
+	resp, err := p.Do(context.Background(), synthRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Network.Vertices != 192 || resp.Network.Edges == 0 {
+		t.Fatalf("network = %+v", resp.Network)
+	}
+	if resp.Filtered == nil || resp.Filtered.Edges == 0 {
+		t.Fatalf("filtered = %+v", resp.Filtered)
+	}
+	if len(resp.Clusters) == 0 || len(resp.Scores) != len(resp.Clusters) {
+		t.Fatalf("clusters = %d, scores = %d", len(resp.Clusters), len(resp.Scores))
+	}
+
+	// Warm rerun: byte-identical JSON, no recomputation.
+	misses := p.Stats().Misses
+	resp2, err := p.Do(context.Background(), synthRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(resp)
+	b2, _ := json.Marshal(resp2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("warm rerun produced different response bytes")
+	}
+	if after := p.Stats().Misses; after != misses {
+		t.Fatalf("warm rerun recomputed %d artifacts", after-misses)
+	}
+}
+
+func TestDoAlgorithmNoneClustersOriginal(t *testing.T) {
+	g := graph.PlantedModules(300, 200, graph.ModuleSpec{
+		Count: 5, MinSize: 6, MaxSize: 8, Density: 0.8, NoiseDeg: 0.4, Window: 3,
+	}, 13)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, g.G); err != nil {
+		t.Fatal(err)
+	}
+	req := &api.Request{
+		Network: api.NetworkSource{EdgeList: buf.String()},
+		Filter:  api.FilterSpec{Algorithm: api.AlgorithmNone},
+	}
+	resp, err := New().Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Filtered != nil {
+		t.Fatalf("algorithm none should omit the filtered section: %+v", resp.Filtered)
+	}
+	if len(resp.Clusters) == 0 {
+		t.Fatal("no clusters on the unfiltered network")
+	}
+	if resp.Scores != nil {
+		t.Fatal("edge list without ontology should not score")
+	}
+	// Matches the direct kernel path on the same graph.
+	direct, err := ClustersContext(context.Background(), g.G, ClusterParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(resp.Clusters) {
+		t.Fatalf("Do found %d clusters, direct kernel %d", len(resp.Clusters), len(direct))
+	}
+}
+
+func TestDoEdgeListWithInlineOntologyAndEdges(t *testing.T) {
+	pr := graph.PlantedModules(300, 200, graph.ModuleSpec{
+		Count: 5, MinSize: 6, MaxSize: 8, Density: 0.8, NoiseDeg: 0.4, Window: 3,
+	}, 17)
+	dag := ontology.Generate(ontology.GenerateSpec{Depth: 8, Branch: 3, Seed: 2})
+	ann := ontology.AnnotateModules(dag, 300, pr.Modules, 5, 3)
+	var net, dagBuf, annBuf bytes.Buffer
+	if err := WriteNetwork(&net, pr.G); err != nil {
+		t.Fatal(err)
+	}
+	if err := ontology.WriteDAG(&dagBuf, dag); err != nil {
+		t.Fatal(err)
+	}
+	if err := ontology.WriteAnnotations(&annBuf, ann); err != nil {
+		t.Fatal(err)
+	}
+	req := &api.Request{
+		Network: api.NetworkSource{EdgeList: net.String()},
+		Filter:  api.FilterSpec{Algorithm: "chordal-seq"},
+		Score:   api.ScoreSpec{DAG: dagBuf.String(), Annotations: annBuf.String()},
+		Output:  api.OutputSpec{Edges: true},
+	}
+	resp, err := New().Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Scores) != len(resp.Clusters) || len(resp.Clusters) == 0 {
+		t.Fatalf("clusters = %d, scores = %d", len(resp.Clusters), len(resp.Scores))
+	}
+	if len(resp.Filtered.EdgeList) != resp.Filtered.Edges {
+		t.Fatalf("edge list has %d pairs, filtered reports %d", len(resp.Filtered.EdgeList), resp.Filtered.Edges)
+	}
+	for i := 1; i < len(resp.Filtered.EdgeList); i++ {
+		a, b := resp.Filtered.EdgeList[i-1], resp.Filtered.EdgeList[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("edge list not in canonical order at %d: %v, %v", i, a, b)
+		}
+	}
+}
+
+func TestWithDatasetsRestriction(t *testing.T) {
+	p := New(WithDatasets("YNG"))
+	if _, err := p.Do(context.Background(), &api.Request{Network: api.NetworkSource{Dataset: "CRE"}}); err == nil {
+		t.Fatal("restricted pipeline served CRE")
+	} else {
+		var ae *api.Error
+		if !errors.As(err, &ae) || ae.Code != api.CodeBadRequest {
+			t.Fatalf("err = %v, want bad_request", err)
+		}
+	}
+	resp, err := p.Do(context.Background(), &api.Request{
+		Network: api.NetworkSource{Dataset: "YNG"},
+		Filter:  api.FilterSpec{Algorithm: "chordal-nocomm", Ordering: "HD", P: 8, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Network.Vertices != 5348 {
+		t.Fatalf("YNG vertices = %d", resp.Network.Vertices)
+	}
+	if len(resp.Scores) == 0 {
+		t.Fatal("dataset source should score by default")
+	}
+}
+
+// RunPipeline's shared engine: repeated one-shot runs over the same data
+// are warm hits with byte-identical outcomes, and the content fingerprint
+// keeps distinct data apart.
+func TestRunPipelineSharedEngine(t *testing.T) {
+	pr := graph.PlantedModules(400, 300, graph.ModuleSpec{
+		Count: 5, MinSize: 6, MaxSize: 8, Density: 0.8, NoiseDeg: 0.5, Window: 3,
+	}, 29)
+	in := PipelineInput{
+		Graph:  pr.G,
+		Filter: FilterOptions{Algorithm: ChordalNoComm, Ordering: HighDegree, P: 4, Seed: 9},
+	}
+	first, err := RunPipeline(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := sharedPipeline().Stats().Misses
+	second, err := RunPipeline(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := sharedPipeline().Stats().Misses; after != misses {
+		t.Fatalf("repeated one-shot run recomputed %d artifacts", after-misses)
+	}
+	if len(first.Clusters) != len(second.Clusters) || first.Filtered.M() != second.Filtered.M() {
+		t.Fatal("repeated one-shot run returned different results")
+	}
+	for _, tm := range second.Timings {
+		if tm.Source != "hit" {
+			t.Fatalf("repeated run stage %s/%s came from %s, want hit", tm.Stage, tm.Variant, tm.Source)
+		}
+	}
+}
+
+// Reusing a caller-supplied Name across one-shot runs with different data
+// was safe under the old fresh-engine-per-call RunPipeline; the shared
+// engine keeps it safe by folding the Name into the content fingerprint.
+func TestRunPipelineNameReuseDoesNotCollide(t *testing.T) {
+	mk := func(seed int64) *Graph {
+		pr := graph.PlantedModules(300, 250, graph.ModuleSpec{
+			Count: 4, MinSize: 6, MaxSize: 8, Density: 0.8, NoiseDeg: 0.4, Window: 3,
+		}, seed)
+		return pr.G
+	}
+	run := func(g *Graph) *PipelineResult {
+		res, err := RunPipeline(context.Background(), PipelineInput{
+			Name:   "reused",
+			Graph:  g,
+			Filter: FilterOptions{Algorithm: ChordalSeq, Ordering: HighDegree, Seed: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(mk(31)), run(mk(32))
+	if a.Network.M() == b.Network.M() && a.Filtered.M() == b.Filtered.M() {
+		t.Fatal("suspicious: different inputs produced identical outputs (likely a name collision)")
+	}
+	if b.Filtered.M() == 0 || b.Filtered.M() > b.Network.M() {
+		t.Fatalf("second run filtered %d of %d edges", b.Filtered.M(), b.Network.M())
+	}
+}
+
+func TestDoRejectsOversizedSynthesis(t *testing.T) {
+	req := &api.Request{Network: api.NetworkSource{Synthesis: &api.SynthesisSpec{
+		Genes: 100_000_000, Samples: 100_000, Seed: 1,
+	}}}
+	_, err := New().Do(context.Background(), req)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeBadRequest {
+		t.Fatalf("err = %v, want bad_request (dimension cap)", err)
+	}
+}
+
+// The content fingerprint: equal content (even from a different object)
+// maps to one name; any content change maps away.
+func TestFingerprintInput(t *testing.T) {
+	g1 := graph.Gnm(200, 800, 5)
+	g2 := graph.Gnm(200, 800, 5) // same generator, same content, new object
+	g3 := graph.Gnm(200, 800, 6)
+	f1 := fingerprintInput(&PipelineInput{Graph: g1})
+	if f2 := fingerprintInput(&PipelineInput{Graph: g2}); f2 != f1 {
+		t.Fatal("equal graph content fingerprinted apart")
+	}
+	if f3 := fingerprintInput(&PipelineInput{Graph: g3}); f3 == f1 {
+		t.Fatal("different graph content collided")
+	}
+	dag := ontology.Generate(ontology.GenerateSpec{Depth: 6, Branch: 2, Seed: 1})
+	withDAG := fingerprintInput(&PipelineInput{Graph: g1, DAG: dag})
+	if withDAG == f1 {
+		t.Fatal("ontology did not change the fingerprint")
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	for _, name := range api.Algorithms() {
+		if name == api.AlgorithmNone {
+			continue
+		}
+		a, ok := ParseAlgorithm(name)
+		if !ok || a.String() != name {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", name, a, ok)
+		}
+	}
+	for _, name := range api.Orderings() {
+		o, ok := ParseOrdering(name)
+		if !ok || o.String() != name {
+			t.Fatalf("ParseOrdering(%q) = %v, %v", name, o, ok)
+		}
+	}
+	if _, ok := ParseAlgorithm("nope"); ok {
+		t.Fatal("accepted unknown algorithm")
+	}
+	if _, ok := ParseOrdering("nope"); ok {
+		t.Fatal("accepted unknown ordering")
+	}
+}

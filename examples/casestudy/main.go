@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// One module of 8 genes plus heavy clumpy noise, in a small network so
 	// the effect is visible gene by gene.
 	pr := graph.PlantedModules(300, 260, graph.ModuleSpec{
@@ -28,15 +30,21 @@ func main() {
 	dag := ontology.Generate(ontology.GenerateSpec{Depth: 10, Branch: 3, Seed: 2})
 	ann := ontology.AnnotateModules(dag, g.N(), pr.Modules, 8, 3)
 
-	origClusters := parsample.Clusters(g)
-	origScored := parsample.ScoreClusters(dag, ann, g, origClusters)
+	origClusters, err := parsample.ClustersContext(ctx, g, parsample.ClusterParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	origScored, err := parsample.ScoreClustersContext(ctx, dag, ann, g, origClusters)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("original network: %d vertices, %d edges, %d clusters\n", g.N(), g.M(), len(origClusters))
 	for _, sc := range origScored {
 		fmt.Printf("  cluster %-2d size %-3d AEES %6.2f\n",
 			sc.Cluster.ID, len(sc.Cluster.Vertices), sc.Score.AEES)
 	}
 
-	res, err := parsample.Filter(g, parsample.FilterOptions{
+	res, err := parsample.FilterContext(ctx, g, parsample.FilterOptions{
 		Algorithm: parsample.ChordalSeq,
 		Ordering:  parsample.HighDegree,
 	})
@@ -44,8 +52,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fg := res.Graph(g.N())
-	filtClusters := parsample.Clusters(fg)
-	filtScored := parsample.ScoreClusters(dag, ann, fg, filtClusters)
+	filtClusters, err := parsample.ClustersContext(ctx, fg, parsample.ClusterParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	filtScored, err := parsample.ScoreClustersContext(ctx, dag, ann, fg, filtClusters)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nchordal filtered: %d edges kept, %d clusters\n", fg.M(), len(filtClusters))
 	for _, sc := range filtScored {
 		fmt.Printf("  cluster %-2d size %-3d AEES %6.2f\n",

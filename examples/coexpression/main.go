@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Synthetic microarray: 800 genes × 30 arrays, six planted
 	// co-expression modules of 9 genes driven by shared latent profiles.
 	syn, err := expr.Synthesize(expr.SyntheticSpec{
@@ -32,7 +34,10 @@ func main() {
 	// keeps only perfect correlations), negative values mean "default".
 	opts := parsample.DefaultNetworkOptions()
 	start := time.Now()
-	net := parsample.BuildCorrelationNetwork(syn.M, opts)
+	net, err := parsample.BuildCorrelationNetworkContext(ctx, syn.M, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("correlation network: %d genes, %d edges at rho>=0.95, p<=5e-4 (built in %v)\n",
 		net.N(), net.M(), time.Since(start).Round(time.Millisecond))
 
@@ -41,12 +46,15 @@ func main() {
 	// dot-product sweep.
 	opts.Kind = parsample.SpearmanCorr
 	start = time.Now()
-	rankNet := parsample.BuildCorrelationNetwork(syn.M, opts)
+	rankNet, err := parsample.BuildCorrelationNetworkContext(ctx, syn.M, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("spearman network:    %d genes, %d edges at the same thresholds (built in %v)\n",
 		rankNet.N(), rankNet.M(), time.Since(start).Round(time.Millisecond))
 
 	// Chordal filter.
-	res, err := parsample.Filter(net, parsample.FilterOptions{
+	res, err := parsample.FilterContext(ctx, net, parsample.FilterOptions{
 		Algorithm: parsample.ChordalSeq,
 		Ordering:  parsample.HighDegree,
 	})
@@ -64,10 +72,16 @@ func main() {
 
 	// Cluster and validate against a GO-like ontology in which the planted
 	// modules share deep terms.
-	clusters := parsample.Clusters(filtered)
+	clusters, err := parsample.ClustersContext(ctx, filtered, parsample.ClusterParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	dag := ontology.Generate(ontology.GenerateSpec{Depth: 10, Branch: 3, Seed: 9})
 	ann := ontology.AnnotateModules(dag, 800, syn.Modules, 7, 11)
-	scored := parsample.ScoreClusters(dag, ann, filtered, clusters)
+	scored, err := parsample.ScoreClustersContext(ctx, dag, ann, filtered, clusters)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("clusters: %d\n", len(scored))
 	relevant := 0

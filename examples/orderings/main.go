@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,18 +17,25 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds := datasets.YNG()
 	fmt.Printf("network %s: %d vertices, %d edges, %d planted modules\n",
 		ds.Name, ds.G.N(), ds.G.M(), len(ds.Modules))
 
-	origClusters := parsample.Clusters(ds.G)
-	origScored := parsample.ScoreClusters(ds.DAG, ds.Ann, ds.G, origClusters)
+	origClusters, err := parsample.ClustersContext(ctx, ds.G, parsample.ClusterParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	origScored, err := parsample.ScoreClustersContext(ctx, ds.DAG, ds.Ann, ds.G, origClusters)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("original network: %d clusters\n\n", len(origClusters))
 
 	fmt.Printf("%-8s %10s %10s %12s %14s %16s\n",
 		"ordering", "edges", "clusters", "AEES>=3", "module recall", "best node ovl")
 	for _, o := range graph.AllOrderings {
-		res, err := parsample.Filter(ds.G, parsample.FilterOptions{
+		res, err := parsample.FilterContext(ctx, ds.G, parsample.FilterOptions{
 			Algorithm: parsample.ChordalSeq,
 			Ordering:  o,
 			Seed:      ds.Seed,
@@ -36,8 +44,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fg := res.Graph(ds.G.N())
-		clusters := parsample.Clusters(fg)
-		scored := parsample.ScoreClusters(ds.DAG, ds.Ann, fg, clusters)
+		clusters, err := parsample.ClustersContext(ctx, fg, parsample.ClusterParams{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		scored, err := parsample.ScoreClustersContext(ctx, ds.DAG, ds.Ann, fg, clusters)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		relevant := 0
 		for _, sc := range scored {

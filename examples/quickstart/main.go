@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small synthetic correlation network: 500 genes, sparse noisy
 	// background, five planted co-expression modules.
 	pr := graph.PlantedModules(500, 400, graph.ModuleSpec{
@@ -22,13 +24,17 @@ func main() {
 	fmt.Printf("network: %d vertices, %d edges, %d planted modules\n",
 		g.N(), g.M(), len(pr.Modules))
 
-	// Clusters in the raw network.
-	before := parsample.Clusters(g)
+	// Clusters in the raw network (zero ClusterParams: the paper's MCODE
+	// defaults).
+	before, err := parsample.ClustersContext(ctx, g, parsample.ClusterParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("clusters before filtering: %d\n", len(before))
 
 	// Chordal filter (communication-free parallel variant on 4 simulated
 	// processors, high-degree ordering).
-	res, err := parsample.Filter(g, parsample.FilterOptions{
+	res, err := parsample.FilterContext(ctx, g, parsample.FilterOptions{
 		Algorithm: parsample.ChordalNoComm,
 		Ordering:  parsample.HighDegree,
 		P:         4,
@@ -42,7 +48,10 @@ func main() {
 		filtered.M(), g.M(), 100*float64(filtered.M())/float64(g.M()), res.BorderEdges)
 
 	// Clusters in the filtered network.
-	after := parsample.Clusters(filtered)
+	after, err := parsample.ClustersContext(ctx, filtered, parsample.ClusterParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("clusters after filtering: %d\n", len(after))
 	for _, c := range after {
 		fmt.Printf("  cluster %d: %d vertices, density %.2f, score %.2f\n",

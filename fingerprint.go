@@ -1,0 +1,75 @@
+package parsample
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"parsample/internal/ontology"
+)
+
+// fingerprintInput hashes the input data — graph or matrix, plus ontology —
+// into a stable content identity. RunPipeline uses it to namespace cached
+// artifacts on the process-shared engine: equal content maps to equal
+// names (warm hits), distinct content can never collide (unlike pointer- or
+// caller-chosen names). One pass over the data per call; SHA-256 keeps the
+// 128-bit truncation safely collision-free.
+func fingerprintInput(in *PipelineInput) string {
+	h := sha256.New()
+	w := bufio.NewWriterSize(h, 1<<16)
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		w.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	if g := in.Graph; g != nil {
+		w.WriteByte('G')
+		i64(int64(g.N()))
+		i64(int64(g.M()))
+		for v := int32(0); int(v) < g.N(); v++ {
+			nbr := g.Neighbors(v)
+			i64(int64(len(nbr)))
+			for _, u := range nbr {
+				u64(uint64(uint32(u)))
+			}
+		}
+	}
+	if m := in.Matrix; m != nil {
+		w.WriteByte('M')
+		i64(int64(m.Genes))
+		i64(int64(m.Samples))
+		for g := 0; g < m.Genes; g++ {
+			for _, x := range m.Row(g) {
+				u64(math.Float64bits(x))
+			}
+		}
+	}
+	if d := in.DAG; d != nil {
+		w.WriteByte('D')
+		i64(int64(d.NumTerms()))
+		for t := 0; t < d.NumTerms(); t++ {
+			ps := d.Parents(ontology.TermID(t))
+			i64(int64(len(ps)))
+			for _, p := range ps {
+				i64(int64(p))
+			}
+		}
+	}
+	if a := in.Ann; a != nil {
+		w.WriteByte('A')
+		i64(int64(a.NumGenes()))
+		for g := 0; g < a.NumGenes(); g++ {
+			ts := a.Terms(int32(g))
+			i64(int64(len(ts)))
+			for _, t := range ts {
+				i64(int64(t))
+			}
+		}
+	}
+	w.Flush()
+	sum := h.Sum(nil)
+	return "content:" + hex.EncodeToString(sum[:16])
+}

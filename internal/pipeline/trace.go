@@ -33,6 +33,8 @@ func (t *Trace) Entries() []TraceEntry {
 
 type traceCtxKey struct{}
 
+type observerCtxKey struct{}
+
 // WithTrace returns a context whose engine requests record into the
 // returned Trace — the per-request observability hook behind the facade's
 // stage timings and the CLI's timing table.
@@ -41,13 +43,25 @@ func WithTrace(ctx context.Context) (context.Context, *Trace) {
 	return context.WithValue(ctx, traceCtxKey{}, t), t
 }
 
-// traceRecord appends an entry when ctx carries a Trace.
+// WithObserver returns a context whose engine requests additionally invoke
+// fn as each stage request completes — the live-progress hook behind the
+// daemon's SSE event stream and cache-provenance header. fn runs on the
+// requesting goroutine with no engine locks held; it composes with
+// WithTrace (both fire) and must be cheap and non-blocking.
+func WithObserver(ctx context.Context, fn func(TraceEntry)) context.Context {
+	return context.WithValue(ctx, observerCtxKey{}, fn)
+}
+
+// traceRecord appends an entry when ctx carries a Trace, and invokes the
+// observer when ctx carries one.
 func traceRecord(ctx context.Context, key Key, src Source, d time.Duration, err error) {
-	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
-	if t == nil {
-		return
+	e := TraceEntry{Key: key, Source: src, Duration: d, Err: err}
+	if t, _ := ctx.Value(traceCtxKey{}).(*Trace); t != nil {
+		t.mu.Lock()
+		t.entries = append(t.entries, e)
+		t.mu.Unlock()
 	}
-	t.mu.Lock()
-	t.entries = append(t.entries, TraceEntry{Key: key, Source: src, Duration: d, Err: err})
-	t.mu.Unlock()
+	if fn, _ := ctx.Value(observerCtxKey{}).(func(TraceEntry)); fn != nil {
+		fn(e)
+	}
 }

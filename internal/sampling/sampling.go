@@ -49,6 +49,15 @@ const (
 	ForestFirePar
 )
 
+// All lists every implemented filter, in declaration order. It is the
+// single source of truth for name-driven front ends (CLI flag parsing, the
+// service API's wire names).
+var All = []Algorithm{
+	ChordalSeq, ChordalComm, ChordalNoComm,
+	RandomWalkSeq, RandomWalkPar,
+	ForestFireSeq, ForestFirePar,
+}
+
 // String returns the name used in reports and figures.
 func (a Algorithm) String() string {
 	switch a {

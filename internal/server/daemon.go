@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parsample"
+)
+
+// RunDaemon parses daemon flags and serves the v1 API until SIGINT/SIGTERM,
+// then drains in-flight requests (10 s grace). It is the shared main of
+// cmd/parsampled and `parsample serve`; prog names the flag set in usage
+// output.
+func RunDaemon(prog string, args []string) error {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		cacheMB   = fs.Int64("cache-mb", 0, "artifact-store budget in MiB (0: the 256 MiB default)")
+		workers   = fs.Int("workers", 0, "max concurrently executing stage kernels (0: GOMAXPROCS)")
+		datasets  = fs.String("datasets", "", "comma-separated datasets to serve, pre-built at startup (YNG,MID,UNT,CRE); empty serves all, built lazily")
+		maxBodyMB = fs.Int64("max-body-mb", 64, "request body limit in MiB")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []parsample.Option
+	if *cacheMB > 0 {
+		opts = append(opts, parsample.WithCacheBytes(*cacheMB<<20))
+	}
+	if *workers > 0 {
+		opts = append(opts, parsample.WithWorkers(*workers))
+	}
+	if *datasets != "" {
+		names := strings.Split(*datasets, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		opts = append(opts, parsample.WithDatasets(names...))
+	}
+	p := parsample.New(opts...)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           New(Config{Pipeline: p, MaxBodyBytes: *maxBodyMB << 20}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("%s: serving v1 API on %s", prog, *addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}

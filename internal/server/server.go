@@ -1,0 +1,188 @@
+// Package server is the HTTP serving tier of parsample: a thin, stateless
+// handler layer over one shared parsample.Pipeline, so every request —
+// concurrent, repeated, or overlapping — funnels into the same memoizing
+// artifact store (identical in-flight requests compute each stage once;
+// warm repeats are served from cache in microseconds).
+//
+// Endpoints (DESIGN.md §6):
+//
+//	POST   /v1/pipeline        synchronous run: api.Request in, api.Response out
+//	POST   /v1/jobs            async submission; returns a job id immediately
+//	GET    /v1/jobs/{id}       job status (+ response once done)
+//	DELETE /v1/jobs/{id}       cancel a running job mid-kernel
+//	GET    /v1/jobs/{id}/events  SSE per-stage progress from the engine trace
+//	GET    /healthz            liveness
+//	GET    /statsz             artifact-store counters
+//
+// Every non-2xx response body is a structured api.Error. Synchronous
+// responses carry an X-Parsample-Cache header ("hit" when every stage was
+// served from the store, "miss" otherwise) — cache provenance stays out of
+// the body so response bytes remain a pure function of the request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"parsample"
+	"parsample/api"
+	"parsample/internal/pipeline"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pipeline is the shared engine every request runs on. Required.
+	Pipeline *parsample.Pipeline
+	// MaxBodyBytes bounds request bodies (0: 64 MiB).
+	MaxBodyBytes int64
+}
+
+// CacheHeader is the response header reporting cache provenance of a
+// synchronous run: "hit" when every stage was served resident, "miss"
+// when any stage computed.
+const CacheHeader = "X-Parsample-Cache"
+
+// Server routes the v1 service API onto one shared Pipeline. Safe for
+// concurrent use; create with New.
+type Server struct {
+	p       *parsample.Pipeline
+	maxBody int64
+	jobs    *jobStore
+	mux     *http.ServeMux
+}
+
+// New creates a Server over cfg.Pipeline.
+func New(cfg Config) *Server {
+	if cfg.Pipeline == nil {
+		panic("server: Config.Pipeline is required")
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	s := &Server{p: cfg.Pipeline, maxBody: maxBody, jobs: newJobStore()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handlePipeline is POST /v1/pipeline: one synchronous end-to-end run.
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	warm := true
+	ctx := pipeline.WithObserver(r.Context(), func(e pipeline.TraceEntry) {
+		if e.Source == pipeline.Computed {
+			warm = false
+		}
+	})
+	resp, err := s.p.Do(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cache := "miss"
+	if warm {
+		cache = "hit"
+	}
+	w.Header().Set(CacheHeader, cache)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStatsz is GET /statsz: the artifact-store counters plus job
+// bookkeeping.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	type statsz struct {
+		Store parsample.PipelineStats `json:"store"`
+		Jobs  jobCounts               `json:"jobs"`
+	}
+	writeJSON(w, http.StatusOK, statsz{Store: s.p.Stats(), Jobs: s.jobs.counts()})
+}
+
+// decodeRequest reads and strictly decodes the request body, writing a
+// structured 400 on failure.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*api.Request, bool) {
+	req, err := api.ReadRequest(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, err)
+		return nil, false
+	}
+	return req, true
+}
+
+// writeJSON marshals v compactly. Marshalling the schema types cannot
+// fail; a failure here is a programming error worth a 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"code":"internal","message":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// statusCancelled is nginx's "client closed request": the run was
+// cancelled (client disconnect or job DELETE) before a response existed.
+const statusCancelled = 499
+
+// writeError maps an error onto a status code and a structured api.Error
+// body.
+func writeError(w http.ResponseWriter, err error) {
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ae = api.Errorf(api.CodeCancelled, "run cancelled: %v", err)
+		} else {
+			ae = api.Errorf(api.CodeInternal, "%v", err)
+		}
+	}
+	writeJSON(w, errorStatus(ae), ae)
+}
+
+// errorStatus maps an api.Error code to its HTTP status.
+func errorStatus(ae *api.Error) int {
+	switch ae.Code {
+	case api.CodeBadRequest:
+		return http.StatusBadRequest
+	case api.CodeNotFound:
+		return http.StatusNotFound
+	case api.CodeCancelled:
+		return statusCancelled
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// pathID extracts the {id} wildcard, 404ing on empty.
+func pathID(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, api.Errorf(api.CodeNotFound, "missing job id"))
+		return "", false
+	}
+	return id, true
+}

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parsample"
+	"parsample/api"
+	"parsample/internal/graph"
+)
+
+// smallSynthBody is a fast end-to-end request: a synthesized matrix with
+// planted modules and a generated ontology, so every stage (network →
+// order → filter → cluster → score) runs.
+const smallSynthBody = `{
+	"network": {"synthesis": {"genes": 192, "samples": 24, "modules": 4, "moduleSize": 8, "seed": 7}},
+	"filter": {"algorithm": "chordal-nocomm", "ordering": "HD", "p": 4, "seed": 3}
+}`
+
+func newTestServer(t testing.TB, opts ...parsample.Option) (*httptest.Server, *parsample.Pipeline) {
+	t.Helper()
+	p := parsample.New(opts...)
+	ts := httptest.NewServer(New(Config{Pipeline: p}))
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func post(t testing.TB, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t testing.TB, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestPipelineSyncRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/pipeline", smallSynthBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if c := resp.Header.Get(CacheHeader); c != "miss" {
+		t.Fatalf("cold request cache header = %q, want miss", c)
+	}
+	var r api.Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatalf("bad response body: %v\n%s", err, body)
+	}
+	if r.Version != api.Version {
+		t.Fatalf("version = %d", r.Version)
+	}
+	if r.Network.Vertices != 192 || r.Network.Edges == 0 {
+		t.Fatalf("network = %+v", r.Network)
+	}
+	if r.Filtered == nil || r.Filtered.Edges == 0 || r.Filtered.Edges > r.Network.Edges {
+		t.Fatalf("filtered = %+v", r.Filtered)
+	}
+	if len(r.Clusters) == 0 {
+		t.Fatal("no clusters from planted modules")
+	}
+	if len(r.Scores) != len(r.Clusters) {
+		t.Fatalf("scores = %d, clusters = %d (synthesis defaults scoring on)", len(r.Scores), len(r.Clusters))
+	}
+	if r.Request == nil || r.Request.Filter.Algorithm != "chordal-nocomm" || *r.Request.Cluster.MinScore != 3.0 {
+		t.Fatalf("normalized request echo: %+v", r.Request)
+	}
+
+	// Warm repeat: cache-hit header and byte-identical body.
+	resp2, body2 := post(t, ts.URL+"/v1/pipeline", smallSynthBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d", resp2.StatusCode)
+	}
+	if c := resp2.Header.Get(CacheHeader); c != "hit" {
+		t.Fatalf("warm request cache header = %q, want hit", c)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("warm repeat returned different bytes")
+	}
+}
+
+// The same request must marshal to byte-identical responses across daemon
+// instances and worker counts — the determinism contract of the v1 schema.
+func TestResponseDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	var first []byte
+	for i, workers := range []int{1, 4} {
+		ts, _ := newTestServer(t, parsample.WithWorkers(workers))
+		resp, body := post(t, ts.URL+"/v1/pipeline", smallSynthBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d status %d: %s", workers, resp.StatusCode, body)
+		}
+		if i == 0 {
+			first = body
+		} else if !bytes.Equal(first, body) {
+			t.Fatalf("workers=%d produced different response bytes", workers)
+		}
+	}
+}
+
+// Acceptance: N concurrent identical requests against one daemon compute
+// each stage once. The engine's singleflight means exactly one miss per
+// stage (5 stages: network, order, filter, cluster, score); every other
+// request joins in flight or hits the store.
+func TestConcurrentIdenticalRequestsDedupe(t *testing.T) {
+	ts, p := newTestServer(t)
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/pipeline", "application/json", strings.NewReader(smallSynthBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+	st := p.Stats()
+	if st.Misses != 5 {
+		t.Fatalf("misses = %d, want exactly 5 (one per stage)", st.Misses)
+	}
+	if st.Shared+st.Hits == 0 {
+		t.Fatal("no request shared in-flight work or hit the store")
+	}
+}
+
+func TestMalformedRequests400(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"syntax", `{"network":`},
+		{"unknown field", `{"network":{"dataset":"YNG"},"fitler":{}}`},
+		{"no source", `{"filter":{"algorithm":"chordal-seq"}}`},
+		{"two sources", `{"network":{"dataset":"YNG","edgeList":"0 1"}}`},
+		{"bad algorithm", `{"network":{"dataset":"YNG"},"filter":{"algorithm":"quantum"}}`},
+		{"zero minScore", `{"network":{"dataset":"YNG"},"cluster":{"minScore":0}}`},
+	}
+	for _, tc := range cases {
+		for _, ep := range []string{"/v1/pipeline", "/v1/jobs"} {
+			resp, body := post(t, ts.URL+ep, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s %s: status %d, want 400 (%s)", tc.name, ep, resp.StatusCode, body)
+			}
+			var ae api.Error
+			if err := json.Unmarshal(body, &ae); err != nil || ae.Code != api.CodeBadRequest || ae.Message == "" {
+				t.Fatalf("%s %s: body %s is not a structured bad_request", tc.name, ep, body)
+			}
+		}
+	}
+	// Content-level errors surface when the source is materialized: a 400
+	// synchronously, a failed job (with the same structured error)
+	// asynchronously.
+	badContent := `{"network":{"edgeList":"0 one\n"}}`
+	resp, body := post(t, ts.URL+"/v1/pipeline", badContent)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad edge list sync: status %d (%s)", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/jobs", badContent)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bad edge list submit: status %d (%s)", resp.StatusCode, body)
+	}
+	var ji JobInfo
+	if err := json.Unmarshal(body, &ji); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitStatus(t, ts.URL+"/v1/jobs/"+ji.ID, JobFailed, 10*time.Second)
+	if failed.Error == nil || failed.Error.Code != api.CodeBadRequest {
+		t.Fatalf("failed job error = %+v", failed.Error)
+	}
+}
+
+func waitStatus(t *testing.T, url string, want string, timeout time.Duration) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		_, body := get(t, url)
+		var ji JobInfo
+		if err := json.Unmarshal(body, &ji); err != nil {
+			t.Fatalf("job body: %v\n%s", err, body)
+		}
+		if ji.Status == want {
+			return ji
+		}
+		if ji.Status != JobRunning {
+			t.Fatalf("job reached %q (error %+v), want %q", ji.Status, ji.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after %v", ji.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sseEvents reads SSE frames from r until a "done" frame or EOF.
+func sseEvents(t *testing.T, r io.Reader) []Event {
+	t.Helper()
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		out = append(out, e)
+		if e.Type == "done" {
+			break
+		}
+	}
+	return out
+}
+
+func TestJobLifecycleAndEventOrder(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/jobs", smallSynthBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var ji JobInfo
+	if err := json.Unmarshal(body, &ji); err != nil || ji.ID == "" {
+		t.Fatalf("submit body: %s", body)
+	}
+
+	// Live SSE stream, opened while the job runs.
+	evResp, err := http.Get(ts.URL + "/v1/jobs/" + ji.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	if ct := evResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	events := sseEvents(t, evResp.Body)
+
+	done := waitStatus(t, ts.URL+"/v1/jobs/"+ji.ID, JobDone, 30*time.Second)
+	if done.Response == nil || len(done.Response.Clusters) == 0 {
+		t.Fatalf("done job carries no response: %+v", done)
+	}
+
+	// Cold-run stage completion order is the dependency order.
+	var stages []string
+	for _, e := range events {
+		if e.Type == "stage" {
+			stages = append(stages, e.Stage)
+		}
+	}
+	want := []string{"network", "order", "filter", "cluster", "score"}
+	if fmt.Sprint(stages) != fmt.Sprint(want) {
+		t.Fatalf("stage order = %v, want %v", stages, want)
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.Status != JobDone {
+		t.Fatalf("terminal frame = %+v", last)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+
+	// A replay subscription after completion sees the identical sequence.
+	evResp2, err := http.Get(ts.URL + "/v1/jobs/" + ji.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp2.Body.Close()
+	replay := sseEvents(t, evResp2.Body)
+	if fmt.Sprint(replay) != fmt.Sprint(events) {
+		t.Fatalf("replay differs:\n%v\n%v", replay, events)
+	}
+}
+
+// Cancelling a running job mid-filter unwinds the kernels promptly, lands
+// the job in "cancelled" with a structured error, and leaves the store
+// unpoisoned (the same request then completes).
+func TestJobCancelMidFilter(t *testing.T) {
+	// A large inline edge list makes the filter stage the dominant cost
+	// (the source resolves instantly, the network stage adopts the graph).
+	g := graph.Gnm(20000, 300000, 11)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	req := api.Request{
+		Network: api.NetworkSource{EdgeList: buf.String()},
+		Filter:  api.FilterSpec{Algorithm: "chordal-seq"},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newTestServer(t)
+	resp, sub := post(t, ts.URL+"/v1/jobs", string(body))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, sub)
+	}
+	var ji JobInfo
+	if err := json.Unmarshal(sub, &ji); err != nil {
+		t.Fatal(err)
+	}
+	delResp, delBody := doDelete(t, ts.URL+"/v1/jobs/"+ji.ID)
+	if delResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d: %s", delResp.StatusCode, delBody)
+	}
+	cancelled := waitStatus(t, ts.URL+"/v1/jobs/"+ji.ID, JobCancelled, 20*time.Second)
+	if cancelled.Error == nil || cancelled.Error.Code != api.CodeCancelled {
+		t.Fatalf("cancelled job error = %+v", cancelled.Error)
+	}
+	if cancelled.Response != nil {
+		t.Fatal("cancelled job carries a response")
+	}
+
+	// The terminal SSE frame reports the cancellation.
+	evResp, err := http.Get(ts.URL + "/v1/jobs/" + ji.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	events := sseEvents(t, evResp.Body)
+	if len(events) == 0 || events[len(events)-1].Status != JobCancelled {
+		t.Fatalf("events = %+v", events)
+	}
+
+	// Store left unpoisoned: the same request completes synchronously.
+	okResp, okBody := post(t, ts.URL+"/v1/pipeline", string(body))
+	if okResp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel rerun status %d: %s", okResp.StatusCode, okBody[:min(len(okBody), 200)])
+	}
+}
+
+func doDelete(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestJobNotFound(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, ep := range []string{"/v1/jobs/nope", "/v1/jobs/nope/events"} {
+		resp, body := get(t, ts.URL+ep)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d", ep, resp.StatusCode)
+		}
+		var ae api.Error
+		if err := json.Unmarshal(body, &ae); err != nil || ae.Code != api.CodeNotFound {
+			t.Fatalf("%s: body %s", ep, body)
+		}
+	}
+	resp, _ := doDelete(t, ts.URL+"/v1/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndStatsz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	post(t, ts.URL+"/v1/pipeline", smallSynthBody)
+	resp, body = get(t, ts.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %d", resp.StatusCode)
+	}
+	var st struct {
+		Store parsample.PipelineStats `json:"store"`
+		Jobs  jobCounts               `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz body: %v\n%s", err, body)
+	}
+	if st.Store.BytesBudget == 0 || st.Store.Misses == 0 {
+		t.Fatalf("statsz counters: %+v", st.Store)
+	}
+}
+
+// BenchmarkServerPipeline measures end-to-end HTTP request latency against
+// the daemon, cold (fresh engine per iteration) vs warm (every stage served
+// from the shared store) — the serving-layer counterpart of
+// BenchmarkPipelineEndToEnd.
+func BenchmarkServerPipeline(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := parsample.New()
+			ts := httptest.NewServer(New(Config{Pipeline: p}))
+			b.StartTimer()
+			resp, body := post(b, ts.URL+"/v1/pipeline", smallSynthBody)
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			b.StopTimer()
+			ts.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ts, _ := newTestServer(b)
+		if resp, body := post(b, ts.URL+"/v1/pipeline", smallSynthBody); resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, _ := post(b, ts.URL+"/v1/pipeline", smallSynthBody)
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package parsample
+
+import (
+	"sort"
+	"strings"
+
+	"parsample/internal/datasets"
+)
+
+// Option configures a Pipeline built by New. Options replace the older
+// PipelineConfig struct: they compose, read at call sites, and leave the
+// zero configuration unambiguous (every omitted option selects a documented
+// default).
+type Option func(*pipelineSettings)
+
+// pipelineSettings is the resolved configuration behind New.
+type pipelineSettings struct {
+	cacheBytes int64
+	workers    int
+	datasets   []string // nil: every built-in dataset is served
+}
+
+// WithCacheBytes sets the artifact-store byte budget. The default (0 or
+// omitted) is pipeline.DefaultStoreBytes, 256 MiB.
+func WithCacheBytes(n int64) Option {
+	return func(s *pipelineSettings) { s.cacheBytes = n }
+}
+
+// WithWorkers bounds concurrently executing stage kernels across all
+// requests. The default (0 or omitted) is GOMAXPROCS. Worker count never
+// changes results — only how many stage kernels run at once.
+func WithWorkers(n int) Option {
+	return func(s *pipelineSettings) { s.workers = n }
+}
+
+// WithDatasets restricts which built-in evaluation datasets (YNG, MID,
+// UNT, CRE) the pipeline serves to api.Request dataset sources, and
+// pre-builds them at New time so the first request doesn't pay synthesis
+// latency. Unknown names are ignored. Without this option every dataset is
+// available, built lazily on first use.
+func WithDatasets(names ...string) Option {
+	return func(s *pipelineSettings) { s.datasets = append(s.datasets, names...) }
+}
+
+// datasetFor resolves a named evaluation dataset, honoring the
+// WithDatasets restriction. The bool is false when the name is unknown or
+// not served by this pipeline.
+func (p *Pipeline) datasetFor(name string) (*datasets.Dataset, bool) {
+	if p.datasets != nil && !p.datasets[name] {
+		return nil, false
+	}
+	switch name {
+	case "YNG":
+		return datasets.YNG(), true
+	case "MID":
+		return datasets.MID(), true
+	case "UNT":
+		return datasets.UNT(), true
+	case "CRE":
+		return datasets.CRE(), true
+	}
+	return nil, false
+}
+
+// servedDatasets names the datasets this pipeline serves, sorted, for error
+// messages.
+func (p *Pipeline) servedDatasets() string {
+	if p.datasets == nil {
+		return "YNG, MID, UNT, CRE"
+	}
+	names := make([]string, 0, len(p.datasets))
+	for n := range p.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

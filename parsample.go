@@ -19,12 +19,12 @@
 // Quick use:
 //
 //	g, _ := parsample.ReadNetwork(f)
-//	filtered, _ := parsample.Filter(g, parsample.FilterOptions{
+//	filtered, _ := parsample.FilterContext(ctx, g, parsample.FilterOptions{
 //	        Algorithm: parsample.ChordalNoComm,
 //	        Ordering:  parsample.HighDegree,
 //	        P:         8,
 //	})
-//	clusters := parsample.Clusters(filtered.Graph(g.N()))
+//	clusters, _ := parsample.ClustersContext(ctx, filtered.Graph(g.N()), parsample.ClusterParams{})
 //
 // Networks built in memory go through NewBuilder:
 //
@@ -34,9 +34,12 @@
 //	g := b.Build() // sorted, deduplicated CSR
 //
 // End-to-end runs (matrix or network → filter → clusters → scores) go
-// through RunPipeline, or through a reusable Pipeline whose memoizing
-// artifact store serves many concurrent requests (see the Pipeline type and
-// DESIGN.md §5).
+// through RunPipeline, or through a reusable Pipeline (New, with functional
+// options) whose memoizing artifact store serves many concurrent requests
+// (see the Pipeline type and DESIGN.md §5). A Pipeline also executes the
+// versioned wire-form api.Request/api.Response pairs of the service API
+// (Pipeline.Do, DESIGN.md §6); cmd/parsampled serves that schema over
+// HTTP.
 //
 // See the examples/ directory for full end-to-end programs and
 // internal/experiments for the drivers that regenerate every figure of the
@@ -47,6 +50,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"parsample/internal/analysis"
@@ -177,14 +181,26 @@ func splitSeed(seed int64, purpose uint64) int64 {
 	return int64(graph.SplitMix64(uint64(seed) + purpose*0x9e3779b97f4a7c15))
 }
 
-// Filter applies a sampling filter to the network.
-func Filter(g *Graph, opts FilterOptions) (*Result, error) {
+// FilterContext applies a sampling filter to the network. ctx cancels the
+// run mid-kernel (sequential filters poll it in their traversal loops;
+// parallel filters abort their simulated ranks); a cancelled run returns
+// ctx.Err(). A completed run honors the determinism contract documented on
+// FilterOptions.Seed.
+func FilterContext(ctx context.Context, g *Graph, opts FilterOptions) (*Result, error) {
 	ord := graph.Order(g, opts.Ordering, splitSeed(opts.Seed, seedPurposeOrder))
-	return sampling.Run(opts.Algorithm, g, sampling.Options{
+	return sampling.RunContext(ctx, opts.Algorithm, g, sampling.Options{
 		Order: ord,
 		P:     opts.P,
 		Seed:  splitSeed(opts.Seed, seedPurposeSampler),
 	})
+}
+
+// Filter applies a sampling filter to the network.
+//
+// Deprecated: use FilterContext, which can be cancelled mid-kernel. Filter
+// is FilterContext with context.Background().
+func Filter(g *Graph, opts FilterOptions) (*Result, error) {
+	return FilterContext(context.Background(), g, opts)
 }
 
 // NewBuilder returns a Builder for a graph with n vertices.
@@ -201,19 +217,45 @@ func MaximalChordalSubgraph(g *Graph, o Ordering, seed int64) *Graph {
 // IsChordal reports whether g is a chordal graph.
 func IsChordal(g *Graph) bool { return chordal.IsChordal(g) }
 
+// ClustersContext runs MCODE on the network. The zero ClusterParams value
+// selects the paper's defaults (score ≥ 3.0, size ≥ 4, haircut on); any
+// non-zero value is passed through to the kernel. ctx cancels the run
+// mid-pass with ctx.Err().
+func ClustersContext(ctx context.Context, g *Graph, p ClusterParams) ([]Cluster, error) {
+	if p == (ClusterParams{}) {
+		p = mcode.DefaultParams()
+	}
+	return mcode.FindClustersContext(ctx, g, p)
+}
+
 // Clusters runs MCODE with the paper's default parameters (score ≥ 3.0).
+//
+// Deprecated: use ClustersContext, which can be cancelled and takes
+// explicit parameters (pass the zero ClusterParams for these defaults).
 func Clusters(g *Graph) []Cluster {
 	return mcode.FindClusters(g, mcode.DefaultParams())
 }
 
 // ClustersWithParams runs MCODE with explicit parameters.
+//
+// Deprecated: use ClustersContext. Note the semantic difference for the
+// zero value: ClustersWithParams(g, ClusterParams{}) resolves per-field
+// kernel defaults with the haircut OFF, while ClustersContext treats the
+// zero value as the paper's full default set (haircut on).
 func ClustersWithParams(g *Graph, p mcode.Params) []Cluster {
 	return mcode.FindClusters(g, p)
 }
 
-// ScoreClusters annotates clusters against an ontology, producing AEES
-// scores (edge enrichment: DCP depth − term breadth, averaged over cluster
-// edges).
+// ScoreClustersContext annotates clusters against an ontology, producing
+// AEES scores (edge enrichment: DCP depth − term breadth, averaged over
+// cluster edges). ctx cancels the run between clusters with ctx.Err().
+func ScoreClustersContext(ctx context.Context, d *DAG, a *Annotations, g *Graph, clusters []Cluster) ([]ScoredCluster, error) {
+	return analysis.ScoreClustersContext(ctx, d, a, g, clusters)
+}
+
+// ScoreClusters annotates clusters against an ontology.
+//
+// Deprecated: use ScoreClustersContext, which can be cancelled.
 func ScoreClusters(d *DAG, a *Annotations, g *Graph, clusters []Cluster) []ScoredCluster {
 	return analysis.ScoreClusters(d, a, g, clusters)
 }
@@ -222,12 +264,21 @@ func ScoreClusters(d *DAG, a *Annotations, g *Graph, clusters []Cluster) []Score
 // configuration: Pearson, ρ ≥ 0.95, p ≤ 0.0005.
 func DefaultNetworkOptions() NetworkOptions { return expr.DefaultNetworkOptions() }
 
-// BuildCorrelationNetwork computes all-pairs correlations (Pearson or
-// Spearman per opts.Kind) of the expression matrix on the standardized-row
-// engine — every gene row is z-scored once so each pair is a single dot
-// product, and the p-value cut is inverted into a critical |r| before the
-// tiled parallel sweep — then thresholds them into a network. Use
-// DefaultNetworkOptions for the paper's thresholds.
+// BuildCorrelationNetworkContext computes all-pairs correlations (Pearson
+// or Spearman per opts.Kind) of the expression matrix on the
+// standardized-row engine — every gene row is z-scored once so each pair is
+// a single dot product, and the p-value cut is inverted into a critical |r|
+// before the tiled parallel sweep — then thresholds them into a network.
+// Use DefaultNetworkOptions for the paper's thresholds. ctx cancels the
+// sweep at tile claims with ctx.Err().
+func BuildCorrelationNetworkContext(ctx context.Context, m *Matrix, opts NetworkOptions) (*Graph, error) {
+	return expr.BuildNetworkContext(ctx, m, opts)
+}
+
+// BuildCorrelationNetwork builds the thresholded correlation network.
+//
+// Deprecated: use BuildCorrelationNetworkContext, which can be cancelled
+// mid-sweep.
 func BuildCorrelationNetwork(m *Matrix, opts NetworkOptions) *Graph {
 	return expr.BuildNetwork(m, opts)
 }
@@ -248,8 +299,9 @@ type PipelineInput struct {
 	// Name uniquely identifies the input data and namespaces its cached
 	// artifacts. Two runs against one Pipeline with the same Name are
 	// assumed to carry the same Graph/Matrix/DAG/Ann. Required for
-	// Pipeline.Run; RunPipeline defaults it (fresh engine, no collision
-	// risk).
+	// Pipeline.Run. RunPipeline ignores that contract: it always prefixes
+	// Name with a content fingerprint of the data, so one-shot runs on the
+	// process-shared engine can never collide however Name is (re)used.
 	Name string
 	// Graph is the input network. Leave nil to build it from Matrix.
 	Graph *Graph
@@ -301,6 +353,9 @@ type PipelineResult struct {
 }
 
 // PipelineConfig parameterizes a reusable Pipeline.
+//
+// Deprecated: use New with functional options (WithCacheBytes,
+// WithWorkers, WithDatasets).
 type PipelineConfig struct {
 	// CacheBytes is the artifact-store budget (0: a 256 MiB default).
 	CacheBytes int64
@@ -312,15 +367,51 @@ type PipelineConfig struct {
 // typed stage-graph engine (internal/pipeline) whose artifact store
 // memoizes every stage under deterministic keys, deduplicates concurrent
 // identical requests (singleflight), and evicts least-recently-used
-// artifacts under a byte budget. Many goroutines may call Run
-// simultaneously; overlapping requests share work and cache.
+// artifacts under a byte budget. Many goroutines may call Run (struct
+// inputs) or Do (wire-form api.Request) simultaneously; overlapping
+// requests share work and cache.
 type Pipeline struct {
-	eng *pipeline.Engine
+	eng      *pipeline.Engine
+	datasets map[string]bool // WithDatasets restriction; nil serves all
+	resolver resolverCache   // api.Request fingerprint → resolved input
+}
+
+// New creates a Pipeline. With no options it serves every built-in dataset
+// lazily, budgets the artifact store at 256 MiB, and bounds stage kernels
+// at GOMAXPROCS:
+//
+//	p := parsample.New(
+//	        parsample.WithCacheBytes(1<<30),
+//	        parsample.WithWorkers(8),
+//	        parsample.WithDatasets("YNG", "CRE"),
+//	)
+func New(opts ...Option) *Pipeline {
+	var s pipelineSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	p := &Pipeline{eng: pipeline.New(pipeline.Config{MaxBytes: s.cacheBytes, Workers: s.workers})}
+	p.resolver.init(resolverCacheCap)
+	if s.datasets != nil {
+		p.datasets = make(map[string]bool, len(s.datasets))
+		for _, n := range s.datasets {
+			p.datasets[n] = true
+		}
+		for n := range p.datasets {
+			// Pre-build so the first request doesn't pay synthesis latency.
+			if _, ok := p.datasetFor(n); !ok {
+				delete(p.datasets, n)
+			}
+		}
+	}
+	return p
 }
 
 // NewPipeline creates a Pipeline.
+//
+// Deprecated: use New with WithCacheBytes and WithWorkers.
 func NewPipeline(cfg PipelineConfig) *Pipeline {
-	return &Pipeline{eng: pipeline.New(pipeline.Config{MaxBytes: cfg.CacheBytes, Workers: cfg.Workers})}
+	return New(WithCacheBytes(cfg.CacheBytes), WithWorkers(cfg.Workers))
 }
 
 // Stats returns the artifact-store counters (hits, misses, in-flight joins,
@@ -388,7 +479,20 @@ func (p *Pipeline) Run(ctx context.Context, in PipelineInput) (*PipelineResult, 
 	return res, nil
 }
 
-// RunPipeline is the one-call end-to-end run on a fresh single-use engine:
+// sharedPipeline is the lazily initialized engine behind RunPipeline.
+// One-shot runs used to allocate a fresh 256 MiB-budget engine per call;
+// sharing one process-wide engine means repeated one-shot runs over the
+// same data are warm hits and concurrent identical runs deduplicate. The
+// tradeoff: RunPipeline results can now be served from cache, so the
+// artifacts of a prior call (bounded by the 256 MiB LRU budget) stay
+// resident between calls — byte-identical to a fresh computation, because
+// every stage kernel is a pure function of its input data and seeds, with
+// inputs namespaced by content fingerprint so distinct data can never
+// collide. Callers that want an isolated or differently-budgeted store
+// hold their own New() pipeline.
+var sharedPipeline = sync.OnceValue(func() *Pipeline { return New() })
+
+// RunPipeline is the one-call end-to-end run:
 //
 //	res, err := parsample.RunPipeline(ctx, parsample.PipelineInput{
 //	        Matrix:  m,
@@ -396,13 +500,23 @@ func (p *Pipeline) Run(ctx context.Context, in PipelineInput) (*PipelineResult, 
 //	        Filter:  parsample.FilterOptions{Algorithm: parsample.ChordalNoComm, Ordering: parsample.HighDegree, P: 8},
 //	})
 //
-// Callers serving repeated or concurrent requests should hold a Pipeline
-// and call Run, which shares the artifact store across requests.
+// It executes on a lazily initialized, process-shared Pipeline, so
+// repeated and concurrent one-shot runs share the artifact store. The
+// cache namespace is always derived from a content fingerprint of the
+// input data (graph or matrix, plus ontology) — one hash pass over the
+// input per call, which is what makes the shared store collision-free: a
+// caller-supplied Name is folded into the fingerprint namespace rather
+// than trusted alone, so reusing a Name across calls with different data
+// (safe under the old fresh-engine-per-call behavior) can never serve the
+// wrong artifacts. Callers serving many requests should hold a Pipeline
+// from New and call Run or Do directly.
 func RunPipeline(ctx context.Context, in PipelineInput) (*PipelineResult, error) {
-	if in.Name == "" {
-		in.Name = "run"
+	if fp := fingerprintInput(&in); in.Name == "" {
+		in.Name = fp
+	} else {
+		in.Name = fp + "/" + in.Name
 	}
-	return NewPipeline(PipelineConfig{}).Run(ctx, in)
+	return sharedPipeline().Run(ctx, in)
 }
 
 // ReadNetwork parses a whitespace edge list (one "u v" pair per line, '#'
@@ -411,3 +525,9 @@ func ReadNetwork(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
 // WriteNetwork writes g in the edge-list format accepted by ReadNetwork.
 func WriteNetwork(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// DOTOptions configures WriteDOT (graph name, vertex groups to highlight).
+type DOTOptions = graph.DOTOptions
+
+// WriteDOT writes g as a Graphviz DOT document.
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error { return graph.WriteDOT(w, g, opts) }

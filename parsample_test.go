@@ -229,9 +229,10 @@ func TestPipelineReuseSharesArtifacts(t *testing.T) {
 }
 
 // Cancelling a pipeline run returns ctx.Err() promptly. The cancel delay
-// is scaled down from a measured uncancelled run and retried (RunPipeline
-// uses a fresh engine per call), so the test cannot race the kernel on
-// fast many-core machines.
+// is scaled down from a measured uncancelled run and retried on a fresh
+// engine per attempt (RunPipeline now shares a process-wide store, which
+// would serve later attempts warm and outrun any cancel), so the test
+// cannot race the kernel on fast many-core machines.
 func TestPipelineCancellation(t *testing.T) {
 	syn, err := expr.Synthesize(expr.SyntheticSpec{
 		Genes: 4096, Samples: 100, Modules: 8, ModuleSize: 10, Noise: 0.1, Seed: 6,
@@ -240,12 +241,13 @@ func TestPipelineCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := PipelineInput{
+		Name:    "cancel",
 		Matrix:  syn.M,
 		Network: DefaultNetworkOptions(),
 		Filter:  FilterOptions{Algorithm: ChordalSeq, Seed: 6},
 	}
 	start := time.Now()
-	if _, err := RunPipeline(context.Background(), in); err != nil {
+	if _, err := New().Run(context.Background(), in); err != nil {
 		t.Fatal(err)
 	}
 	cold := time.Since(start)
@@ -257,7 +259,7 @@ func TestPipelineCancellation(t *testing.T) {
 		timer := time.AfterFunc(cold/div, cancel)
 		done := make(chan error, 1)
 		go func() {
-			_, err := RunPipeline(ctx, in)
+			_, err := New().Run(ctx, in)
 			done <- err
 		}()
 		select {
