@@ -104,6 +104,11 @@ type CorrelationSpec struct {
 	MaxP *float64 `json:"maxP,omitempty"`
 	// Negative admits strong negative correlations as edges (default false).
 	Negative bool `json:"negative"`
+	// Precision is the sweep arithmetic: "float64" (default) or "float32".
+	// The float32 engine is faster and lighter but returns the exact same
+	// network — near-threshold pairs are re-decided in float64 — so this
+	// is a performance knob, never a results knob.
+	Precision string `json:"precision,omitempty"`
 }
 
 // AlgorithmNone is the filter algorithm that skips sampling entirely: the

@@ -24,7 +24,7 @@ func TestNormalizedFillsExplicitDefaults(t *testing.T) {
 		t.Fatalf("synthesis defaults not filled: %+v", s)
 	}
 	c := n.Network.Correlation
-	if c == nil || c.Statistic != "pearson" || *c.MinAbsR != 0.95 || *c.MaxP != 0.0005 {
+	if c == nil || c.Statistic != "pearson" || *c.MinAbsR != 0.95 || *c.MaxP != 0.0005 || c.Precision != "float64" {
 		t.Fatalf("correlation defaults not filled: %+v", c)
 	}
 	if n.Filter.Algorithm != "chordal-nocomm" || n.Filter.Ordering != "NO" || n.Filter.P != 1 {
@@ -122,6 +122,10 @@ func TestValidateRejections(t *testing.T) {
 		{"dag on dataset", Request{Network: NetworkSource{Dataset: "YNG"}, Score: ScoreSpec{DAG: "x", Annotations: "y"}}, "edge-list source"},
 		{"scoring without ontology", Request{Network: NetworkSource{EdgeList: "0 1"}, Score: ScoreSpec{Enabled: &en}}, "no ontology"},
 		{"tiny synthesis", Request{Network: NetworkSource{Synthesis: &SynthesisSpec{Genes: 10, Samples: 2}}}, "samples > 2"},
+		{"bad precision", Request{Network: NetworkSource{
+			Synthesis:   &SynthesisSpec{Genes: 256, Samples: 32},
+			Correlation: &CorrelationSpec{Precision: "float16"},
+		}}, "precision"},
 	}
 	for _, tc := range cases {
 		_, err := tc.req.Normalized()
@@ -158,6 +162,21 @@ func TestFingerprintCoversDataNotParameters(t *testing.T) {
 	}
 	if n.Fingerprint() != fp {
 		t.Fatal("run parameters changed the data fingerprint")
+	}
+
+	// Correlation parameters are run parameters too (they live in the
+	// network-stage artifact key): requests differing only in thresholds,
+	// sign gate or precision share one fingerprint — which is what lets
+	// the engine share a resolved matrix and coalesce their sweeps.
+	r = synthReq()
+	minR, maxP := 0.5, 0.01
+	r.Network.Correlation = &CorrelationSpec{Statistic: "spearman", MinAbsR: &minR, MaxP: &maxP, Negative: true, Precision: "float32"}
+	n, err = r.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Fingerprint() != fp {
+		t.Fatal("correlation parameters changed the data fingerprint")
 	}
 
 	r = synthReq()

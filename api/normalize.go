@@ -50,6 +50,9 @@ func (r *Request) Normalized() (*Request, error) {
 		}
 		c.MinAbsR = fillFloat(c.MinAbsR, 0.95)
 		c.MaxP = fillFloat(c.MaxP, 0.0005)
+		if c.Precision == "" {
+			c.Precision = "float64"
+		}
 	}
 
 	// Filter defaults. "none" ignores ordering and P entirely, so they are
@@ -134,6 +137,9 @@ func (r *Request) validate() error {
 		if c.MaxP != nil && (*c.MaxP < 0 || *c.MaxP > 1) {
 			return Errorf(CodeBadRequest, "maxP %v out of range [0, 1]", *c.MaxP)
 		}
+		if c.Precision != "" && c.Precision != "float64" && c.Precision != "float32" {
+			return Errorf(CodeBadRequest, "unknown correlation precision %q (want float64 or float32)", c.Precision)
+		}
 	}
 	if s := r.Network.Synthesis; s != nil {
 		if s.Genes <= 0 || s.Samples <= 2 {
@@ -194,20 +200,25 @@ func (r *Request) validate() error {
 
 // Fingerprint is the content identity of the request's input data: a hash
 // of the normalized network source and the inline ontology (the per-run
-// parameters — filter variant, cluster knobs, seeds — are carried in the
-// engine's artifact keys instead). The pipeline uses it as the cache
-// namespace, so two requests with equal fingerprints share network, order,
-// filter, cluster and score artifacts. The identity is the source text:
-// two edge lists that parse to the same graph but differ in whitespace
-// fingerprint differently (and merely compute twice — never incorrectly).
-// Call on a normalized request; normalization-irrelevant spellings of the
-// same source would otherwise fingerprint apart.
+// parameters — correlation thresholds, filter variant, cluster knobs,
+// seeds — are carried in the engine's artifact keys instead). The pipeline
+// uses it as the cache namespace, so two requests with equal fingerprints
+// share network, order, filter, cluster and score artifacts; in particular
+// requests that differ only in correlation parameters share one resolved
+// matrix, which is what lets the engine coalesce their sweeps into a
+// single kernel pass. The identity is the source text: two edge lists that
+// parse to the same graph but differ in whitespace fingerprint differently
+// (and merely compute twice — never incorrectly). Call on a normalized
+// request; normalization-irrelevant spellings of the same source would
+// otherwise fingerprint apart.
 func (r *Request) Fingerprint() string {
+	net := r.Network
+	net.Correlation = nil // a run parameter, not data identity
 	id := struct {
 		Network NetworkSource `json:"network"`
 		DAG     string        `json:"dag,omitempty"`
 		Ann     string        `json:"ann,omitempty"`
-	}{r.Network, r.Score.DAG, r.Score.Annotations}
+	}{net, r.Score.DAG, r.Score.Annotations}
 	b, err := json.Marshal(id)
 	if err != nil {
 		// Marshalling a struct of strings, ints and floats cannot fail.

@@ -385,11 +385,13 @@ func BenchmarkMCODEClusters(b *testing.B) {
 	}
 }
 
-// BenchmarkBuildNetwork times the correlation front end — the z-scored
-// tiled all-pairs engine behind expr.BuildNetwork — for both statistics on
-// the two reference matrix shapes. The 2048×64 Pearson case is the
-// acceptance metric for the engine rewrite (≥3× over the per-pair seed
-// path on one core).
+// BenchmarkBuildNetwork times the correlation front end — the z-scored,
+// register-blocked all-pairs engine behind expr.BuildNetwork — for both
+// statistics and both arena precisions on the two reference matrix shapes.
+// The 4096×100 Pearson cases are the acceptance metric for the vectorized
+// kernels (float64 ≥2×, float32 ≥3× over the PR-2 scalar engine); float32
+// changes only the prefilter arena, never the edge set, so every variant
+// here must produce the same graph.
 func BenchmarkBuildNetwork(b *testing.B) {
 	for _, shape := range []struct{ genes, samples int }{
 		{2048, 64},
@@ -403,17 +405,55 @@ func BenchmarkBuildNetwork(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, kind := range []expr.CorrelationKind{expr.PearsonCorr, expr.SpearmanCorr} {
-			opts := expr.DefaultNetworkOptions()
-			opts.Kind = kind
-			b.Run(fmt.Sprintf("%s/%dx%d", kind, shape.genes, shape.samples), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if g := expr.BuildNetwork(res.M, opts); g.M() == 0 {
-						b.Fatal("empty network")
+			for _, prec := range []expr.Precision{expr.Float64, expr.Float32} {
+				opts := expr.DefaultNetworkOptions()
+				opts.Kind = kind
+				opts.Precision = prec
+				b.Run(fmt.Sprintf("%s/%s/%dx%d", kind, prec, shape.genes, shape.samples), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if g := expr.BuildNetwork(res.M, opts); g.M() == 0 {
+							b.Fatal("empty network")
+						}
 					}
-				}
-			})
+				})
+			}
 		}
+	}
+}
+
+// BenchmarkBuildNetworkBatchedSweep measures the cross-request batching
+// economics: one batched pass answering k=4 admission specs versus the
+// single-spec pass it generalizes. The acceptance bar is batched(k=4) <
+// 1.3× single — the standardization, tiling and candidate prefilter are
+// shared, so extra specs only pay per-admitted-pair threshold tests.
+func BenchmarkBuildNetworkBatchedSweep(b *testing.B) {
+	res, err := expr.Synthesize(expr.SyntheticSpec{
+		Genes: 2048, Samples: 64, Modules: 16, ModuleSize: 12, Noise: 0.1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := expr.DefaultNetworkOptions()
+	specs := []expr.SweepSpec{
+		{MinAbsR: 0.95, MaxP: 0.0005},
+		{MinAbsR: 0.90, MaxP: 0.001},
+		{MinAbsR: 0.85, MaxP: 0.005},
+		{MinAbsR: 0.80, MaxP: 0.01, Negative: true},
+	}
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gs, err := expr.BatchBuildNetworksContext(context.Background(), res.M, base, specs[:k])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if gs[0].M() == 0 {
+					b.Fatal("empty network")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,182 @@
+// Command benchreport emits the machine-readable perf snapshot for this
+// revision (BENCH_*.json): the correlation front end on the two reference
+// matrix shapes in both arena precisions, the batched-sweep overhead ratio,
+// and the HTTP serving tier cold vs warm. CI runs it on every push so the
+// perf trajectory is comparable PR-over-PR; the checked-in BENCH_6.json is
+// the snapshot from the revision that introduced the vectorized kernels.
+//
+//	go run ./cmd/benchreport -o BENCH_6.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"parsample"
+	"parsample/internal/expr"
+	"parsample/internal/server"
+)
+
+// report is the BENCH_*.json schema. NsPerOp keys are stable across PRs;
+// new revisions add keys, never rename them.
+type report struct {
+	ID        string             `json:"id"`
+	Go        string             `json:"go"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	KernelISA string             `json:"kernel_isa"`
+	NsPerOp   map[string]float64 `json:"ns_per_op"`
+	// BatchedSweepRatioK4 is batched(k=4 specs) / single-spec wall time on
+	// 2048×64 — the cross-request coalescing overhead (acceptance: <1.3).
+	BatchedSweepRatioK4 float64 `json:"batched_sweep_ratio_k4"`
+}
+
+// serverBody mirrors the serving tier's bench request: a synthesized matrix
+// with planted modules so every pipeline stage runs.
+const serverBody = `{
+	"network": {"synthesis": {"genes": 192, "samples": 24, "modules": 4, "moduleSize": 8, "seed": 7}},
+	"filter": {"algorithm": "chordal-nocomm", "ordering": "HD", "p": 4, "seed": 3}
+}`
+
+func main() {
+	out := flag.String("o", "BENCH_6.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	r := report{
+		ID:        "BENCH_6",
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		KernelISA: expr.KernelISA(),
+		NsPerOp:   map[string]float64{},
+	}
+
+	for _, shape := range []struct{ genes, samples int }{{2048, 64}, {4096, 100}} {
+		syn, err := expr.Synthesize(expr.SyntheticSpec{
+			Genes: shape.genes, Samples: shape.samples,
+			Modules: 16, ModuleSize: 12, Noise: 0.1, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, prec := range []expr.Precision{expr.Float64, expr.Float32} {
+			opts := expr.DefaultNetworkOptions()
+			opts.Precision = prec
+			name := fmt.Sprintf("build_network/pearson/%s/%dx%d", prec, shape.genes, shape.samples)
+			r.NsPerOp[name] = nsPerOp(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if g := expr.BuildNetwork(syn.M, opts); g.M() == 0 {
+						b.Fatal("empty network")
+					}
+				}
+			})
+		}
+		if shape.genes == 2048 {
+			single, batched := batchedSweep(syn)
+			r.NsPerOp["batched_sweep/2048x64/k=1"] = single
+			r.NsPerOp["batched_sweep/2048x64/k=4"] = batched
+			r.BatchedSweepRatioK4 = batched / single
+		}
+	}
+
+	cold, warm := serverColdWarm()
+	r.NsPerOp["server/pipeline/cold"] = cold
+	r.NsPerOp["server/pipeline/warm"] = warm
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%s, %s)\n", *out, r.KernelISA, r.Go)
+}
+
+// nsPerOp runs f under the testing benchmark driver and returns its ns/op.
+func nsPerOp(f func(b *testing.B)) float64 {
+	res := testing.Benchmark(f)
+	if res.N == 0 {
+		log.Fatal("benchmark failed (zero iterations)")
+	}
+	return float64(res.NsPerOp())
+}
+
+// batchedSweep times one batched pass over k=4 admission specs against the
+// single-spec pass it generalizes, on the 2048×64 matrix.
+func batchedSweep(syn *expr.SyntheticResult) (single, batched float64) {
+	base := expr.DefaultNetworkOptions()
+	specs := []expr.SweepSpec{
+		{MinAbsR: 0.95, MaxP: 0.0005},
+		{MinAbsR: 0.90, MaxP: 0.001},
+		{MinAbsR: 0.85, MaxP: 0.005},
+		{MinAbsR: 0.80, MaxP: 0.01, Negative: true},
+	}
+	run := func(k int) float64 {
+		return nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gs, err := expr.BatchBuildNetworksContext(context.Background(), syn.M, base, specs[:k])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if gs[0].M() == 0 {
+					b.Fatal("empty network")
+				}
+			}
+		})
+	}
+	return run(1), run(4)
+}
+
+// serverColdWarm measures the HTTP serving tier end to end: cold boots a
+// fresh pipeline per request (every stage computes), warm reuses one
+// pipeline so every stage is an artifact-store hit.
+func serverColdWarm() (cold, warm float64) {
+	post := func(b *testing.B, url string) {
+		resp, err := http.Post(url+"/v1/pipeline", "application/json", strings.NewReader(serverBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	cold = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ts := httptest.NewServer(server.New(server.Config{Pipeline: parsample.New()}))
+			b.StartTimer()
+			post(b, ts.URL)
+			b.StopTimer()
+			ts.Close()
+			b.StartTimer()
+		}
+	})
+	warm = nsPerOp(func(b *testing.B) {
+		ts := httptest.NewServer(server.New(server.Config{Pipeline: parsample.New()}))
+		defer ts.Close()
+		post(b, ts.URL) // prime the artifact store outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+	})
+	return cold, warm
+}

@@ -62,7 +62,7 @@ func (p *Pipeline) Do(ctx context.Context, req *api.Request) (*api.Response, err
 		Name:   ri.name,
 		G:      ri.g,
 		Matrix: ri.matrix,
-		Net:    ri.net,
+		Net:    netOptionsFrom(norm),
 		DAG:    ri.dag,
 		Ann:    ri.ann,
 		MCODE: mcode.Params{
@@ -177,20 +177,41 @@ func (p *Pipeline) NetworkFromSource(ctx context.Context, src api.NetworkSource)
 	if ri.g != nil {
 		return ri.g, nil
 	}
-	return p.eng.Network(ctx, pipeline.Input{Name: ri.name, Matrix: ri.matrix, Net: ri.net})
+	return p.eng.Network(ctx, pipeline.Input{Name: ri.name, Matrix: ri.matrix, Net: netOptionsFrom(norm)})
 }
 
 // ------------------------------------------------------------ resolution
 
 // resolvedInput is a materialized network source: the data a pipeline.Input
-// carries, keyed by the request fingerprint.
+// carries, keyed by the request fingerprint. It is pure data — correlation
+// options are per-request run parameters (netOptionsFrom), NOT part of the
+// resolved source, so requests that differ only in thresholds or precision
+// share one entry (and one synthesized matrix) here.
 type resolvedInput struct {
 	name   string
 	g      *graph.Graph
 	matrix *expr.Matrix
-	net    expr.NetworkOptions
 	dag    *ontology.DAG
 	ann    *ontology.Annotations
+}
+
+// netOptionsFrom maps a normalized request's correlation spec onto engine
+// options. Matrix-less sources have no correlation stage; the zero value
+// is returned and ignored downstream.
+func netOptionsFrom(norm *api.Request) expr.NetworkOptions {
+	c := norm.Network.Correlation
+	if c == nil {
+		return expr.NetworkOptions{}
+	}
+	kind := expr.PearsonCorr
+	if c.Statistic == "spearman" {
+		kind = expr.SpearmanCorr
+	}
+	prec := expr.Float64
+	if c.Precision == "float32" {
+		prec = expr.Float32
+	}
+	return expr.NetworkOptions{Kind: kind, MinAbsR: *c.MinAbsR, MaxP: *c.MaxP, Negative: c.Negative, Precision: prec}
 }
 
 // resolve materializes the normalized request's source, serving repeats
@@ -249,12 +270,6 @@ func (p *Pipeline) materialize(key string, norm *api.Request) (*resolvedInput, e
 			return nil, api.Errorf(api.CodeBadRequest, "synthesize: %v", err)
 		}
 		ri.matrix = syn.M
-		c := norm.Network.Correlation
-		kind := expr.PearsonCorr
-		if c.Statistic == "spearman" {
-			kind = expr.SpearmanCorr
-		}
-		ri.net = expr.NetworkOptions{Kind: kind, MinAbsR: *c.MinAbsR, MaxP: *c.MaxP, Negative: c.Negative}
 		if *s.Ontology {
 			// A matching ontology over the planted modules, so scoring has
 			// ground truth (same derivation as internal/datasets and the

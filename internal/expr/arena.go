@@ -1,0 +1,72 @@
+package expr
+
+import "sync"
+
+// Arena pooling. Every sweep standardizes rows into a flat genes×samples
+// arena, and the service layer rebuilds networks over the same dataset
+// shapes constantly (same matrix, different thresholds), so arenas are
+// recycled through per-shape sync.Pools instead of make per call.
+//
+// Lifetime rules (DESIGN.md §7):
+//   - An arena is owned by exactly one sweep from arenaFor to release.
+//     release only runs after the sweep has joined all its workers (the
+//     engine joins even on cancellation), so a pooled arena is never
+//     aliased by a live goroutine.
+//   - Pools are keyed by (genes, samples, precision), so a recycled arena
+//     never needs re-sizing and a Float32 build always finds both the
+//     float32 rows and the float64 shadow it rechecks against.
+//   - sync.Pool's GC integration bounds the idle footprint: arenas for
+//     shapes that stop arriving are collected with the next GC cycle.
+
+type arenaKey struct {
+	genes, samples int
+	prec           Precision
+}
+
+// buildArena is one sweep's row storage. z64 always holds the canonical
+// float64 standardized rows (the admission oracle); z32 is allocated only
+// for Float32 arenas and holds the same rows rounded to float32.
+type buildArena struct {
+	pool *sync.Pool
+	z64  []float64
+	z32  []float32
+}
+
+var arenaPools struct {
+	sync.Mutex
+	m map[arenaKey]*sync.Pool
+}
+
+// arenaFor checks an arena of the given shape out of its pool, allocating
+// one if the pool is empty. The contents are stale garbage; the caller
+// overwrites every element during standardization.
+func arenaFor(genes, samples int, prec Precision) *buildArena {
+	key := arenaKey{genes: genes, samples: samples, prec: prec}
+	arenaPools.Lock()
+	p := arenaPools.m[key]
+	if p == nil {
+		if arenaPools.m == nil {
+			arenaPools.m = make(map[arenaKey]*sync.Pool)
+		}
+		p = &sync.Pool{New: func() any {
+			a := &buildArena{z64: make([]float64, genes*samples)}
+			if prec == Float32 {
+				a.z32 = make([]float32, genes*samples)
+			}
+			return a
+		}}
+		arenaPools.m[key] = p
+	}
+	arenaPools.Unlock()
+	a := p.Get().(*buildArena)
+	a.pool = p
+	return a
+}
+
+// release returns the arena to its pool. The caller must not retain any
+// reference into z64/z32 past this call.
+func (a *buildArena) release() {
+	p := a.pool
+	a.pool = nil
+	p.Put(a)
+}

@@ -1,0 +1,69 @@
+package expr
+
+import (
+	"context"
+
+	"parsample/internal/graph"
+)
+
+// Batched sweeps: one standardize+tile pass over a matrix evaluating many
+// admission rules at once. The marginal cost of an extra rule is one
+// threshold comparison per candidate pair — the O(genes²·samples) kernel
+// work is shared — so k concurrent requests that differ only in their
+// filter parameters cost barely more than one (the <1.3× criterion in
+// bench_test.go). internal/pipeline's sweep coalescer rides this to merge
+// concurrent requests over the same dataset into a single kernel
+// invocation; ThresholdSweep's bucket-after-one-loose-sweep remains the
+// better shape when every threshold shares one sign gate and p-cut.
+
+// SweepSpec is one admission rule of a batched sweep. Unlike
+// NetworkOptions, fields are literal: no negative-means-default sentinels
+// (a negative MinAbsR is clamped to 0).
+type SweepSpec struct {
+	MinAbsR  float64 // minimum |correlation|
+	MaxP     float64 // maximum p-value
+	Negative bool    // admit strong negative correlations too
+}
+
+// SweepSpec extracts o's admission rule with its default sentinels
+// resolved, for batching alongside other rules that share o's statistic
+// and precision.
+func (o NetworkOptions) SweepSpec() SweepSpec {
+	o = o.withDefaults()
+	return SweepSpec{MinAbsR: o.MinAbsR, MaxP: o.MaxP, Negative: o.Negative}
+}
+
+// BatchCorrelatedPairsContext evaluates every spec in one sweep and
+// returns result[i] = the pairs admitted by specs[i], each sorted by
+// (U, V) exactly as CorrelatedPairs would return it. base supplies the
+// statistic, precision and worker count; its own threshold fields are
+// ignored in favor of the specs.
+func BatchCorrelatedPairsContext(ctx context.Context, m *Matrix, base NetworkOptions, specs []SweepSpec) ([][]ScoredEdge, error) {
+	outs, err := batchScoredContext(ctx, m, base, specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		sortEdges(out)
+	}
+	return outs, nil
+}
+
+// BatchBuildNetworksContext is the graph-producing form of
+// BatchCorrelatedPairsContext: one sweep, one thresholded correlation
+// network per spec, each identical to the BuildNetworkContext result for
+// the corresponding options. This is the kernel under the pipeline's
+// cross-request sweep coalescer.
+func BatchBuildNetworksContext(ctx context.Context, m *Matrix, base NetworkOptions, specs []SweepSpec) ([]*graph.Graph, error) {
+	outs, err := batchScoredContext(ctx, m, base, specs)
+	if err != nil {
+		return nil, err
+	}
+	gs := make([]*graph.Graph, len(outs))
+	for i, scored := range outs {
+		b := graph.NewBuilder(m.Genes)
+		b.AddEdges(toEdges(scored))
+		gs[i] = b.Build()
+	}
+	return gs, nil
+}

@@ -1,0 +1,207 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// diffMatrices builds the matrix zoo for the differential suites: a
+// modular synthetic (near-threshold coefficients on both signs), a small
+// dense-noise matrix (coefficients spread across [-1, 1], so loose
+// thresholds land many pairs near the cut), and a matrix with planted
+// degenerate rows (constant, i.e. zero variance).
+func diffMatrices(t *testing.T) map[string]*Matrix {
+	t.Helper()
+	mats := make(map[string]*Matrix)
+
+	syn, err := Synthesize(SyntheticSpec{Genes: 160, Samples: 24, Modules: 4, ModuleSize: 10, Noise: 0.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats["modules"] = syn.M
+
+	rng := rand.New(rand.NewSource(99))
+	noisy := NewMatrix(90, 10)
+	for g := 0; g < noisy.Genes; g++ {
+		for s := 0; s < noisy.Samples; s++ {
+			noisy.Set(g, s, rng.NormFloat64())
+		}
+	}
+	mats["noise"] = noisy
+
+	degen, err := Synthesize(SyntheticSpec{Genes: 80, Samples: 16, Modules: 2, ModuleSize: 8, Noise: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < degen.M.Samples; s++ {
+		degen.M.Set(5, s, 4.0) // constant row
+		degen.M.Set(41, s, 0)  // all-zero row
+	}
+	mats["degenerate"] = degen.M
+
+	return mats
+}
+
+// diffOptions is the admission-rule zoo: the paper's tight cut, loose
+// cuts that put many coefficients near the threshold, negative gating,
+// and Spearman (rank ties from the degenerate rows included).
+func diffOptions() map[string]NetworkOptions {
+	return map[string]NetworkOptions{
+		"paper":         {Kind: PearsonCorr, MinAbsR: 0.95, MaxP: 0.0005},
+		"loose":         {Kind: PearsonCorr, MinAbsR: 0.3, MaxP: 0.2},
+		"negative":      {Kind: PearsonCorr, MinAbsR: 0.5, MaxP: 0.1, Negative: true},
+		"spearman":      {Kind: SpearmanCorr, MinAbsR: 0.6, MaxP: 0.05},
+		"spearman-neg":  {Kind: SpearmanCorr, MinAbsR: 0.4, MaxP: 0.2, Negative: true},
+		"p-only":        {Kind: PearsonCorr, MinAbsR: 0, MaxP: 0.001},
+		"dense-allpass": {Kind: PearsonCorr, MinAbsR: 0, MaxP: 1},
+	}
+}
+
+// TestFloat32EdgeSetsByteIdenticalToFloat64 is the float32 engine's
+// contract: for every matrix, statistic, sign gate and threshold in the
+// zoo, and on every available kernel ISA, the Float32 engine returns the
+// exact []ScoredEdge of the Float64 engine — same pairs, same
+// coefficients, bit for bit. The recheck band makes this hold by
+// construction; this test is the empirical pin.
+func TestFloat32EdgeSetsByteIdenticalToFloat64(t *testing.T) {
+	mats := diffMatrices(t)
+	withKernelISA(t, func(t *testing.T) {
+		for mname, m := range mats {
+			for oname, opts := range diffOptions() {
+				opts.Workers = 3
+				opts.Precision = Float64
+				want := CorrelatedPairs(m, opts)
+				opts.Precision = Float32
+				got := CorrelatedPairs(m, opts)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s: float32 edge set diverges: %d edges vs %d", mname, oname, len(got), len(want))
+				}
+			}
+		}
+	})
+}
+
+// TestBatchSweepMatchesIndependentSweeps is the batched-sweep property
+// test: one BatchCorrelatedPairsContext pass over k specs returns exactly
+// what k independent CorrelatedPairs runs return, per spec, in both
+// precisions and on every ISA.
+func TestBatchSweepMatchesIndependentSweeps(t *testing.T) {
+	mats := diffMatrices(t)
+	specsOpts := []NetworkOptions{
+		{Kind: PearsonCorr, MinAbsR: 0.95, MaxP: 0.0005},
+		{Kind: PearsonCorr, MinAbsR: 0.8, MaxP: 0.01},
+		{Kind: PearsonCorr, MinAbsR: 0.5, MaxP: 0.1, Negative: true},
+		{Kind: PearsonCorr, MinAbsR: 0.3, MaxP: 0.5},
+		{Kind: PearsonCorr, MinAbsR: 0, MaxP: 0.9}, // dense spec drags the whole batch onto the dense path
+	}
+	specs := make([]SweepSpec, len(specsOpts))
+	for i, o := range specsOpts {
+		specs[i] = o.SweepSpec()
+	}
+	withKernelISA(t, func(t *testing.T) {
+		for _, prec := range []Precision{Float64, Float32} {
+			for mname, m := range mats {
+				base := NetworkOptions{Kind: PearsonCorr, Workers: 2, Precision: prec}
+				outs, err := BatchCorrelatedPairsContext(context.Background(), m, base, specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(outs) != len(specs) {
+					t.Fatalf("%s/%s: got %d outputs for %d specs", mname, prec, len(outs), len(specs))
+				}
+				for i, o := range specsOpts {
+					o.Workers = 2
+					o.Precision = prec
+					want := CorrelatedPairs(m, o)
+					if !reflect.DeepEqual(outs[i], want) {
+						t.Errorf("%s/%s spec %d: batched sweep diverges from independent sweep (%d vs %d edges)",
+							mname, prec, i, len(outs[i]), len(want))
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestBatchBuildNetworksMatchesBuildNetwork pins the graph-level form the
+// pipeline coalescer consumes.
+func TestBatchBuildNetworksMatchesBuildNetwork(t *testing.T) {
+	syn, err := Synthesize(SyntheticSpec{Genes: 200, Samples: 20, Modules: 3, ModuleSize: 12, Noise: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specsOpts := []NetworkOptions{
+		{Kind: SpearmanCorr, MinAbsR: 0.9, MaxP: 0.001},
+		{Kind: SpearmanCorr, MinAbsR: 0.7, MaxP: 0.05, Negative: true},
+	}
+	specs := []SweepSpec{specsOpts[0].SweepSpec(), specsOpts[1].SweepSpec()}
+	base := NetworkOptions{Kind: SpearmanCorr, Precision: Float32}
+	gs, err := BatchBuildNetworksContext(context.Background(), syn.M, base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range specsOpts {
+		o.Precision = Float64
+		want := BuildNetwork(syn.M, o)
+		if !reflect.DeepEqual(gs[i], want) {
+			t.Errorf("spec %d: batched network differs from BuildNetwork (%d vs %d edges)", i, gs[i].M(), want.M())
+		}
+	}
+}
+
+// TestBatchSweepCancellation: a cancelled batch returns ctx.Err() and no
+// partial results.
+func TestBatchSweepCancellation(t *testing.T) {
+	syn, err := Synthesize(SyntheticSpec{Genes: 400, Samples: 32, Modules: 2, ModuleSize: 20, Noise: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs, err := BatchCorrelatedPairsContext(ctx, syn.M, NetworkOptions{}, []SweepSpec{{MinAbsR: 0.5, MaxP: 1}})
+	if err == nil || outs != nil {
+		t.Fatalf("cancelled batch: outs=%v err=%v, want nil + error", outs, err)
+	}
+}
+
+// TestCorrelatedPairsFloat32Deterministic mirrors the engine's Workers
+// determinism pin for the float32 path.
+func TestCorrelatedPairsFloat32Deterministic(t *testing.T) {
+	syn, err := Synthesize(SyntheticSpec{Genes: 300, Samples: 18, Modules: 3, ModuleSize: 15, Noise: 0.3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []ScoredEdge
+	for i, workers := range []int{1, 2, 3, 7} {
+		opts := NetworkOptions{MinAbsR: 0.4, MaxP: 0.3, Workers: workers, Precision: Float32, Negative: true}
+		got := CorrelatedPairs(syn.M, opts)
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: edge set differs from workers=1", workers)
+		}
+	}
+	if len(ref) == 0 {
+		t.Fatal("determinism test admitted no edges; thresholds too tight to be meaningful")
+	}
+}
+
+// TestPrecisionString covers the names used in api wiring and BENCH json.
+func TestPrecisionString(t *testing.T) {
+	for _, tc := range []struct {
+		p    Precision
+		want string
+	}{{Float64, "float64"}, {Float32, "float32"}} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("Precision(%d).String() = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+	if got := fmt.Sprint(Float32); got != "float32" {
+		t.Errorf("fmt.Sprint(Float32) = %q", got)
+	}
+}

@@ -150,6 +150,33 @@ func betacf(a, b, x float64) float64 {
 	return h
 }
 
+// Precision selects the arithmetic width of the all-pairs sweep arena.
+//
+// Float32 halves the standardized-row arena and doubles the elements per
+// SIMD lane, but the edge set it produces is byte-identical to Float64's:
+// block correlations are only a banded prefilter, and any pair whose
+// low-precision coefficient lands within the engine's recheck band of an
+// admission threshold is re-decided by the canonical float64 dot kernel
+// (see kernel.go and DESIGN.md §7). Precision is therefore a pure
+// speed/memory knob, never an accuracy knob.
+type Precision uint8
+
+const (
+	// Float64 standardizes rows into a float64 arena (the default).
+	Float64 Precision = iota
+	// Float32 standardizes rows into a float32 arena with float64
+	// accumulation and a float64 recheck band near each threshold.
+	Float32
+)
+
+// String names the precision ("float64", "float32").
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
 // NetworkOptions controls correlation-network construction.
 //
 // Threshold semantics: a NEGATIVE MinAbsR or MaxP selects the paper's
@@ -161,11 +188,12 @@ func betacf(a, b, x float64) float64 {
 // p-value cut; callers wanting the paper's thresholds should start from
 // DefaultNetworkOptions().
 type NetworkOptions struct {
-	Kind     CorrelationKind // correlation statistic (default PearsonCorr)
-	MinAbsR  float64         // minimum |correlation|; negative → 0.95
-	MaxP     float64         // maximum p-value; negative → 0.0005
-	Workers  int             // parallel workers; ≤ 0 → GOMAXPROCS
-	Negative bool            // if true, strong negative correlations also make edges
+	Kind      CorrelationKind // correlation statistic (default PearsonCorr)
+	MinAbsR   float64         // minimum |correlation|; negative → 0.95
+	MaxP      float64         // maximum p-value; negative → 0.0005
+	Workers   int             // parallel workers; ≤ 0 → GOMAXPROCS
+	Negative  bool            // if true, strong negative correlations also make edges
+	Precision Precision       // sweep arena width; results are identical either way
 }
 
 // DefaultNetworkOptions returns the paper's configuration: Pearson

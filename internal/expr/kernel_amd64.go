@@ -1,0 +1,27 @@
+//go:build amd64
+
+package expr
+
+// useAVXKernels gates the assembly block kernels on runtime CPU support:
+// AVX2 and FMA instruction sets plus OS-enabled YMM state (OSXSAVE/XCR0).
+// It is a variable, not a constant, so tests can force the generic path
+// and differential-test the two implementations against each other.
+var useAVXKernels = x86HasAVX2FMA()
+
+// x86HasAVX2FMA reports CPU+OS support for the AVX2/FMA kernels
+// (kernel_amd64.s): CPUID leaf 1 ECX bits FMA|OSXSAVE|AVX, XCR0 bits
+// SSE|AVX, and CPUID leaf 7 EBX bit AVX2.
+func x86HasAVX2FMA() bool
+
+// dot4F64AVX computes four float64 dot products of the n-element row at a
+// against the rows at b0..b3 using AVX2+FMA (8 lanes per partner per
+// iteration), reducing to scalars before the (deterministic) scalar tail.
+//
+//go:noescape
+func dot4F64AVX(a, b0, b1, b2, b3 *float64, n int, out *[4]float64)
+
+// dot4F32AVX is the float32-arena variant (16 lanes per partner per
+// iteration, float32 accumulation).
+//
+//go:noescape
+func dot4F32AVX(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)

@@ -1,0 +1,232 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func x86HasAVX2FMA() bool
+//
+// Feature probe for the block kernels: CPUID.1:ECX must report
+// FMA (bit 12), OSXSAVE (bit 27) and AVX (bit 28); XGETBV(0) must show the
+// OS saving both SSE and AVX state (XCR0 bits 1 and 2); CPUID.7.0:EBX must
+// report AVX2 (bit 5).
+TEXT ·x86HasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVB $0, ret+0(FP)
+
+	// Max basic CPUID leaf must reach 7.
+	XORL AX, AX
+	CPUID
+	CMPL AX, $7
+	JL   done
+
+	// Leaf 1: FMA | OSXSAVE | AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27 | 1<<28), R8
+	CMPL R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE  done
+
+	// XCR0: OS saves SSE (bit 1) and AVX (bit 2) state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  done
+
+	// Leaf 7, subleaf 0: AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   done
+
+	MOVB $1, ret+0(FP)
+
+done:
+	RET
+
+// func dot4F64AVX(a, b0, b1, b2, b3 *float64, n int, out *[4]float64)
+//
+// Four simultaneous float64 dot products: row a against rows b0..b3.
+// The main loop consumes 8 elements per partner per iteration through two
+// YMM loads of a and eight FMAs with memory operands, keeping eight
+// independent accumulator vectors (two per partner) so the FMA latency
+// chain never stalls. The vector accumulators are reduced to scalars
+// BEFORE the tail loop — scalar VEX ops zero the upper YMM lanes, so the
+// tail must not touch live vector state — and the tail accumulates
+// sequentially, making the summation order a fixed function of n alone.
+TEXT ·dot4F64AVX(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n+40(FP), CX
+	MOVQ out+48(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop8:
+	CMPQ CX, $8
+	JL   reduce
+	VMOVUPD (SI), Y8
+	VMOVUPD 32(SI), Y9
+	VFMADD231PD (R8), Y8, Y0
+	VFMADD231PD 32(R8), Y9, Y1
+	VFMADD231PD (R9), Y8, Y2
+	VFMADD231PD 32(R9), Y9, Y3
+	VFMADD231PD (R10), Y8, Y4
+	VFMADD231PD 32(R10), Y9, Y5
+	VFMADD231PD (R11), Y8, Y6
+	VFMADD231PD 32(R11), Y9, Y7
+	ADDQ $64, SI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	SUBQ $8, CX
+	JMP  loop8
+
+reduce:
+	// Fold accumulator pairs, then horizontally sum each YMM to lane 0.
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y5, Y4, Y4
+	VADDPD Y7, Y6, Y6
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y2, X3
+	VADDPD X3, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y4, X5
+	VADDPD X5, X4, X4
+	VHADDPD X4, X4, X4
+	VEXTRACTF128 $1, Y6, X7
+	VADDPD X7, X6, X6
+	VHADDPD X6, X6, X6
+
+tail:
+	TESTQ CX, CX
+	JZ    store
+
+scalar64:
+	VMOVSD (SI), X8
+	VFMADD231SD (R8), X8, X0
+	VFMADD231SD (R9), X8, X2
+	VFMADD231SD (R10), X8, X4
+	VFMADD231SD (R11), X8, X6
+	ADDQ $8, SI
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ CX
+	JNZ  scalar64
+
+store:
+	VMOVSD X0, (DI)
+	VMOVSD X2, 8(DI)
+	VMOVSD X4, 16(DI)
+	VMOVSD X6, 24(DI)
+	VZEROUPPER
+	RET
+
+// func dot4F32AVX(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+//
+// float32 variant of dot4F64AVX: 16 elements per partner per iteration,
+// float32 lane accumulation (the engine widens and bands the result; see
+// recheckBand32). Same reduce-before-tail discipline.
+TEXT ·dot4F32AVX(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ n+40(FP), CX
+	MOVQ out+48(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loop16:
+	CMPQ CX, $16
+	JL   reduce32
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+	VFMADD231PS (R8), Y8, Y0
+	VFMADD231PS 32(R8), Y9, Y1
+	VFMADD231PS (R9), Y8, Y2
+	VFMADD231PS 32(R9), Y9, Y3
+	VFMADD231PS (R10), Y8, Y4
+	VFMADD231PS 32(R10), Y9, Y5
+	VFMADD231PS (R11), Y8, Y6
+	VFMADD231PS 32(R11), Y9, Y7
+	ADDQ $64, SI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	SUBQ $16, CX
+	JMP  loop16
+
+reduce32:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y5, Y4, Y4
+	VADDPS Y7, Y6, Y6
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VEXTRACTF128 $1, Y2, X3
+	VADDPS X3, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VEXTRACTF128 $1, Y4, X5
+	VADDPS X5, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+	VEXTRACTF128 $1, Y6, X7
+	VADDPS X7, X6, X6
+	VHADDPS X6, X6, X6
+	VHADDPS X6, X6, X6
+
+tail32:
+	TESTQ CX, CX
+	JZ    store32
+
+scalar32:
+	VMOVSS (SI), X8
+	VFMADD231SS (R8), X8, X0
+	VFMADD231SS (R9), X8, X2
+	VFMADD231SS (R10), X8, X4
+	VFMADD231SS (R11), X8, X6
+	ADDQ $4, SI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JNZ  scalar32
+
+store32:
+	VMOVSS X0, (DI)
+	VMOVSS X2, 4(DI)
+	VMOVSS X4, 8(DI)
+	VMOVSS X6, 12(DI)
+	VZEROUPPER
+	RET

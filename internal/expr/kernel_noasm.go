@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package expr
+
+// Non-amd64 builds always use the portable block kernels; the stubs below
+// exist only to satisfy the dispatch sites and are unreachable while
+// useAVXKernels is false.
+
+var useAVXKernels = false
+
+func x86HasAVX2FMA() bool { return false }
+
+func dot4F64AVX(a, b0, b1, b2, b3 *float64, n int, out *[4]float64) {
+	panic("expr: dot4F64AVX unavailable on this architecture")
+}
+
+func dot4F32AVX(a, b0, b1, b2, b3 *float32, n int, out *[4]float32) {
+	panic("expr: dot4F32AVX unavailable on this architecture")
+}

@@ -115,8 +115,10 @@ type Key struct {
 	// OrderSeed and FilterSeed are the seeds of the ordering shuffle and the
 	// randomized samplers.
 	OrderSeed, FilterSeed int64
-	// Net is the normalized network construction config (Workers zeroed:
-	// results are worker-independent).
+	// Net is the normalized network construction config (Workers and
+	// Precision zeroed: results are worker- and precision-independent —
+	// the float32 engine rechecks admissions in float64, so both arena
+	// widths produce byte-identical artifacts under one key).
 	Net expr.NetworkOptions
 	// MCODE is the normalized clustering config.
 	MCODE mcode.Params
@@ -167,6 +169,7 @@ func FromDataset(ds *datasets.Dataset) Input {
 func (in Input) key(s Stage, v Variant) Key {
 	net := in.Net
 	net.Workers = 0
+	net.Precision = 0
 	m := in.MCODE
 	if m == (mcode.Params{}) {
 		m = mcode.DefaultParams()
@@ -205,13 +208,20 @@ type Config struct {
 	// (≤ 0 → GOMAXPROCS). Dependency resolution never holds a worker slot,
 	// so nested stages cannot deadlock the budget.
 	Workers int
+	// BatchWindow holds a matrix-backed network build open for this long so
+	// concurrent builds over the same input that differ only in admission
+	// parameters coalesce into one batched sweep (see sweepBatcher). Zero
+	// disables coalescing; results are identical either way, the window
+	// only trades a little first-build latency for shared kernel work.
+	BatchWindow time.Duration
 }
 
 // Engine executes stage-graph requests over a shared artifact store.
 // All methods are safe for concurrent use.
 type Engine struct {
-	store *Store
-	sem   chan struct{}
+	store  *Store
+	sem    chan struct{}
+	sweeps *sweepBatcher
 }
 
 // New creates an engine.
@@ -220,11 +230,20 @@ func New(cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{store: NewStore(cfg.MaxBytes), sem: make(chan struct{}, w)}
+	return &Engine{
+		store:  NewStore(cfg.MaxBytes),
+		sem:    make(chan struct{}, w),
+		sweeps: newSweepBatcher(cfg.BatchWindow),
+	}
 }
 
-// Stats returns the artifact store counters.
-func (e *Engine) Stats() StoreStats { return e.store.Stats() }
+// Stats returns the artifact store counters plus the sweep batcher's.
+func (e *Engine) Stats() StoreStats {
+	st := e.store.Stats()
+	st.SweepBatches = e.sweeps.batches.Load()
+	st.SweepRequests = e.sweeps.requests.Load()
+	return st
+}
 
 // slot acquires a bounded-concurrency worker slot, or fails once ctx is
 // cancelled. Stage computes hold a slot only around their own kernel, never
@@ -266,12 +285,11 @@ func (e *Engine) Network(ctx context.Context, in Input) (*graph.Graph, error) {
 		return nil, fmt.Errorf("pipeline: input %q has neither a network nor a matrix", in.Name)
 	}
 	return get(ctx, e, in.key(StageNetwork, Original), func(ctx context.Context) (*graph.Graph, int64, error) {
-		release, err := e.slot(ctx)
-		if err != nil {
-			return nil, 0, err
-		}
-		defer release()
-		g, err := expr.BuildNetworkContext(ctx, in.Matrix, in.Net)
+		// The batcher takes its own worker slot around the kernel (and
+		// coalesces concurrent same-matrix builds when a window is set);
+		// identical keys never reach it — the store's singleflight merged
+		// them already.
+		g, err := e.sweeps.build(ctx, e, in)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -51,6 +51,12 @@ type StoreStats struct {
 	BytesBudget int64
 	// Inflight is the number of computations currently running.
 	Inflight int
+	// SweepBatches counts correlation-sweep kernel invocations through the
+	// engine's batcher; SweepRequests counts the network builds those
+	// invocations served. Requests/Batches > 1 means cross-request
+	// coalescing is paying off. Populated by Engine.Stats, not the Store.
+	SweepBatches  int64
+	SweepRequests int64
 }
 
 // Store is the keyed artifact store behind the Engine: a memoization map

@@ -27,6 +27,7 @@ func RunDaemon(prog string, args []string) error {
 		workers   = fs.Int("workers", 0, "max concurrently executing stage kernels (0: GOMAXPROCS)")
 		datasets  = fs.String("datasets", "", "comma-separated datasets to serve, pre-built at startup (YNG,MID,UNT,CRE); empty serves all, built lazily")
 		maxBodyMB = fs.Int64("max-body-mb", 64, "request body limit in MiB")
+		batchWin  = fs.Duration("batch-window", 2*time.Millisecond, "how long a correlation-network build waits to coalesce concurrent same-data sweeps into one batched kernel pass (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -38,6 +39,9 @@ func RunDaemon(prog string, args []string) error {
 	}
 	if *workers > 0 {
 		opts = append(opts, parsample.WithWorkers(*workers))
+	}
+	if *batchWin > 0 {
+		opts = append(opts, parsample.WithBatchWindow(*batchWin))
 	}
 	if *datasets != "" {
 		names := strings.Split(*datasets, ",")

@@ -3,6 +3,7 @@ package parsample
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"parsample/internal/datasets"
 )
@@ -15,9 +16,10 @@ type Option func(*pipelineSettings)
 
 // pipelineSettings is the resolved configuration behind New.
 type pipelineSettings struct {
-	cacheBytes int64
-	workers    int
-	datasets   []string // nil: every built-in dataset is served
+	cacheBytes  int64
+	workers     int
+	datasets    []string // nil: every built-in dataset is served
+	batchWindow time.Duration
 }
 
 // WithCacheBytes sets the artifact-store byte budget. The default (0 or
@@ -31,6 +33,18 @@ func WithCacheBytes(n int64) Option {
 // changes results — only how many stage kernels run at once.
 func WithWorkers(n int) Option {
 	return func(s *pipelineSettings) { s.workers = n }
+}
+
+// WithBatchWindow holds each matrix-backed network build open for d so
+// concurrent requests over the same data that differ only in correlation
+// parameters (thresholds, p-cut, sign gate) ride ONE batched sweep instead
+// of paying a full O(genes²) pass each. Responses are byte-identical with
+// or without batching; the window only trades up to d of added cold-build
+// latency for shared kernel work under concurrent load. The default (0 or
+// omitted) disables coalescing; servers typically want a few milliseconds
+// (parsampled's -batch-window defaults to 2ms).
+func WithBatchWindow(d time.Duration) Option {
+	return func(s *pipelineSettings) { s.batchWindow = d }
 }
 
 // WithDatasets restricts which built-in evaluation datasets (YNG, MID,

@@ -96,6 +96,10 @@ type (
 	NetworkOptions = expr.NetworkOptions
 	// CorrelationKind selects Pearson or Spearman correlation.
 	CorrelationKind = expr.CorrelationKind
+	// Precision selects the correlation sweep's arena width (Float64 or
+	// Float32). A pure speed/memory knob: the float32 engine re-decides
+	// near-threshold pairs in float64, so the network is byte-identical.
+	Precision = expr.Precision
 	// SweepPoint is one row of a correlation-threshold sweep.
 	SweepPoint = expr.SweepPoint
 	// DAG is a GO-like ontology.
@@ -126,6 +130,14 @@ const (
 	// SpearmanCorr is Spearman rank correlation, robust to outliers and
 	// monotone nonlinearity.
 	SpearmanCorr = expr.SpearmanCorr
+)
+
+// Sweep-arena precisions for NetworkOptions.Precision.
+const (
+	// Float64 is the default double-precision sweep arena.
+	Float64 = expr.Float64
+	// Float32 halves arena bytes and doubles SIMD lanes; identical results.
+	Float32 = expr.Float32
 )
 
 // Sampling algorithms.
@@ -390,7 +402,11 @@ func New(opts ...Option) *Pipeline {
 	for _, o := range opts {
 		o(&s)
 	}
-	p := &Pipeline{eng: pipeline.New(pipeline.Config{MaxBytes: s.cacheBytes, Workers: s.workers})}
+	p := &Pipeline{eng: pipeline.New(pipeline.Config{
+		MaxBytes:    s.cacheBytes,
+		Workers:     s.workers,
+		BatchWindow: s.batchWindow,
+	})}
 	p.resolver.init(resolverCacheCap)
 	if s.datasets != nil {
 		p.datasets = make(map[string]bool, len(s.datasets))
