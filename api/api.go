@@ -50,6 +50,15 @@ type Request struct {
 	Score ScoreSpec `json:"score"`
 	// Output selects optional response payloads.
 	Output OutputSpec `json:"output"`
+	// DeadlineMillis bounds the run's wall time in milliseconds, measured
+	// from when the server starts executing (queue time under admission
+	// control does not count — a queued request whose deadline expires is
+	// rejected instead). 0 means no deadline. A run that exceeds its
+	// deadline is cancelled mid-kernel and answered with a structured
+	// deadline_exceeded error. Deadlines are run parameters: they take no
+	// part in cache identity, so requests differing only in deadline share
+	// every cached artifact.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // NetworkSource selects the input network. Exactly one of EdgeList,
@@ -238,18 +247,37 @@ type ClusterScore struct {
 // Error is the structured error body every non-2xx daemon response carries.
 type Error struct {
 	// Code is a stable machine-readable class: bad_request, not_found,
-	// cancelled, internal.
+	// cancelled, internal, payload_too_large, overloaded, over_capacity,
+	// degraded, deadline_exceeded.
 	Code string `json:"code"`
 	// Message is human-readable detail.
 	Message string `json:"message"`
+	// RetryAfterSec is the server's suggested retry delay for load-shedding
+	// rejections (overloaded, over_capacity, degraded); it mirrors the HTTP
+	// Retry-After header so non-HTTP consumers see the same hint. 0 on
+	// errors retrying won't fix.
+	RetryAfterSec int `json:"retryAfterSec,omitempty"`
+
+	// cause preserves the underlying error (errors.Is/As through Unwrap) so
+	// transport layers can classify wrapped failures — e.g. the body-limit
+	// path detecting http.MaxBytesError behind a decode error.
+	cause error
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string { return e.Code + ": " + e.Message }
 
+// Unwrap exposes the underlying cause to errors.Is and errors.As.
+func (e *Error) Unwrap() error { return e.cause }
+
 // Errorf builds an *Error with a formatted message.
 func Errorf(code, format string, args ...any) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WrapError builds an *Error whose cause is preserved for errors.Is/As.
+func WrapError(code string, cause error, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), cause: cause}
 }
 
 // Error codes.
@@ -258,6 +286,24 @@ const (
 	CodeNotFound   = "not_found"
 	CodeCancelled  = "cancelled"
 	CodeInternal   = "internal"
+	// CodePayloadTooLarge: the request body exceeded the daemon's body
+	// limit (HTTP 413).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeOverloaded: transient load shedding — the admission queue or the
+	// client's fair-share budget is full; retry after RetryAfterSec
+	// (HTTP 429).
+	CodeOverloaded = "overloaded"
+	// CodeOverCapacity: the request can never be admitted as posed — its
+	// estimated cost exceeds the daemon's whole admission budget, or its
+	// deadline is shorter than its estimated compute time (HTTP 503).
+	CodeOverCapacity = "over_capacity"
+	// CodeDegraded: the daemon is under sustained pressure and is shedding
+	// expensive cold work to keep answering cheap requests; retry after
+	// RetryAfterSec (HTTP 503).
+	CodeDegraded = "degraded"
+	// CodeDeadlineExceeded: the run was cancelled because its deadline_ms
+	// expired mid-flight (HTTP 504).
+	CodeDeadlineExceeded = "deadline_exceeded"
 )
 
 // Datasets lists the named evaluation networks a request may reference.

@@ -16,7 +16,10 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	dec.DisallowUnknownFields()
 	req := &Request{}
 	if err := dec.Decode(req); err != nil {
-		return nil, Errorf(CodeBadRequest, "decode request: %v", err)
+		// The cause is preserved: transport layers classify wrapped reader
+		// failures (e.g. http.MaxBytesError → a structured 413) with
+		// errors.As through the returned *Error.
+		return nil, WrapError(CodeBadRequest, err, "decode request: %v", err)
 	}
 	if dec.More() {
 		return nil, Errorf(CodeBadRequest, "trailing data after request body")

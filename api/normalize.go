@@ -186,6 +186,9 @@ func (r *Request) validate() error {
 	if v := r.Cluster.FluffDensityThreshold; v != nil && *v <= 0 {
 		return Errorf(CodeBadRequest, "cluster fluffDensityThreshold must be positive (got %v)", *v)
 	}
+	if r.DeadlineMillis < 0 {
+		return Errorf(CodeBadRequest, "deadline_ms must be non-negative (got %d); omit it for no deadline", r.DeadlineMillis)
+	}
 	if (r.Score.DAG == "") != (r.Score.Annotations == "") {
 		return Errorf(CodeBadRequest, "score dag and annotations must be provided together")
 	}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"strings"
 	"sync"
+	"time"
 
 	"context"
 
@@ -59,20 +60,13 @@ func (p *Pipeline) Do(ctx context.Context, req *api.Request) (*api.Response, err
 	}
 
 	pin := pipeline.Input{
-		Name:   ri.name,
-		G:      ri.g,
-		Matrix: ri.matrix,
-		Net:    netOptionsFrom(norm),
-		DAG:    ri.dag,
-		Ann:    ri.ann,
-		MCODE: mcode.Params{
-			VertexWeightPercentage: *norm.Cluster.VertexWeightPct,
-			Haircut:                *norm.Cluster.Haircut,
-			MinScore:               *norm.Cluster.MinScore,
-			MinSize:                *norm.Cluster.MinSize,
-			Fluff:                  norm.Cluster.Fluff,
-			FluffDensityThreshold:  *norm.Cluster.FluffDensityThreshold,
-		},
+		Name:       ri.name,
+		G:          ri.g,
+		Matrix:     ri.matrix,
+		Net:        netOptionsFrom(norm),
+		DAG:        ri.dag,
+		Ann:        ri.ann,
+		MCODE:      mcodeParamsFrom(norm),
 		OrderSeed:  splitSeed(norm.Filter.Seed, seedPurposeOrder),
 		FilterSeed: splitSeed(norm.Filter.Seed, seedPurposeSampler),
 	}
@@ -214,6 +208,61 @@ func netOptionsFrom(norm *api.Request) expr.NetworkOptions {
 	return expr.NetworkOptions{Kind: kind, MinAbsR: *c.MinAbsR, MaxP: *c.MaxP, Negative: c.Negative, Precision: prec}
 }
 
+// mcodeParamsFrom maps a normalized request's cluster spec onto MCODE
+// kernel parameters.
+func mcodeParamsFrom(norm *api.Request) mcode.Params {
+	return mcode.Params{
+		VertexWeightPercentage: *norm.Cluster.VertexWeightPct,
+		Haircut:                *norm.Cluster.Haircut,
+		MinScore:               *norm.Cluster.MinScore,
+		MinSize:                *norm.Cluster.MinSize,
+		Fluff:                  norm.Cluster.Fluff,
+		FluffDensityThreshold:  *norm.Cluster.FluffDensityThreshold,
+	}
+}
+
+// Resident reports whether req's expensive artifacts are already warm in
+// this Pipeline: the source is resolved (parsed or synthesized) and — for
+// matrix-backed sources, whose dominant cost is the O(genes²·samples)
+// correlation sweep — the network artifact is resident in the engine
+// store. The serving tier's admission gate uses this to discount the cost
+// of warm repeats and, under degradation, to shed cold synthesis work
+// before cached work. The probe is read-only: it touches neither the
+// resolver's nor the store's LRU order and materializes nothing. A false
+// from a malformed request is fine — admission re-validates via Do.
+func (p *Pipeline) Resident(req *api.Request) bool {
+	norm, err := req.Normalized()
+	if err != nil {
+		return false
+	}
+	fp := norm.Fingerprint()
+	if !p.resolver.contains(fp) {
+		return false
+	}
+	if norm.Network.Synthesis == nil {
+		// Graph-backed sources: the parse/dataset build is the cost; once
+		// resolved the network stage is a cheap pass-through.
+		return true
+	}
+	return p.eng.NetworkResident(pipeline.Input{
+		Name:       fp,
+		Net:        netOptionsFrom(norm),
+		MCODE:      mcodeParamsFrom(norm),
+		OrderSeed:  splitSeed(norm.Filter.Seed, seedPurposeOrder),
+		FilterSeed: splitSeed(norm.Filter.Seed, seedPurposeSampler),
+	})
+}
+
+// BatchWindow returns the engine's current cross-request sweep-batch
+// window.
+func (p *Pipeline) BatchWindow() time.Duration { return p.eng.BatchWindow() }
+
+// SetBatchWindow atomically adjusts the sweep-batch window at runtime.
+// The serving tier widens it under sustained load (more coalescing, less
+// kernel work per admitted request) and restores it when pressure drops;
+// in-flight batches keep the window they opened with.
+func (p *Pipeline) SetBatchWindow(d time.Duration) { p.eng.SetBatchWindow(d) }
+
 // resolve materializes the normalized request's source, serving repeats
 // from the fingerprint-keyed LRU (concurrent identical resolutions
 // deduplicate like the engine's singleflight).
@@ -318,6 +367,15 @@ func (c *resolverCache) init(capacity int) {
 	c.entries = make(map[string]*list.Element)
 	c.lru = list.New()
 	c.inflight = make(map[string]*resolverFlight)
+}
+
+// contains reports whether key is resolved and resident, without touching
+// LRU order (a residency probe must not keep cold entries warm).
+func (c *resolverCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
 }
 
 func (c *resolverCache) do(key string, compute func() (*resolvedInput, error)) (*resolvedInput, error) {

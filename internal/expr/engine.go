@@ -2,6 +2,7 @@ package expr
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"slices"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parsample/internal/faultinject"
 	"parsample/internal/graph"
 )
 
@@ -296,25 +298,47 @@ func (e *engine) sweep(ctx context.Context, workers int) ([][]ScoredEdge, error)
 	cols := make([]*collector, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var werr error
+	fail := func(err error) { errOnce.Do(func() { werr = err }) }
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Panic containment: a worker panic (a kernel bug, or an armed
+			// expr.sweep.tile panic failpoint) becomes the sweep's error
+			// instead of killing the process — these goroutines are not
+			// under any net/http recover, so an uncontained panic here
+			// would take a shared daemon down.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("expr: sweep worker panicked: %v", r))
+				}
+			}()
 			c := newCollector(e)
+			cols[w] = c
 			for ctx.Err() == nil {
 				k := next.Add(1) - 1
 				if k >= totalPairs {
 					break
 				}
+				// Failpoint: every tile claim (delay mode models slow
+				// hardware under load tests; error mode aborts the sweep).
+				if err := faultinject.Eval("expr.sweep.tile"); err != nil {
+					fail(err)
+					break
+				}
 				ti, tj := decodeTilePair(k, tiles)
 				e.sweepBlock(ti, tj, c)
 			}
-			cols[w] = c
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if werr != nil {
+		return nil, werr
 	}
 	outs := make([][]ScoredEdge, nspec)
 	for si := range outs {

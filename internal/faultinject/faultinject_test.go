@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsClean(t *testing.T) {
+	Reset()
+	if err := Eval("nope"); err != nil {
+		t.Fatalf("disarmed site returned %v", err)
+	}
+	if Hits("nope") != 0 {
+		t.Fatal("disarmed site counted hits")
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("a", Spec{Mode: ModeError})
+	if err := Eval("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	Enable("a", Spec{Mode: ModeError, Err: custom})
+	if err := Eval("a"); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom sentinel", err)
+	}
+	Disable("a")
+	if err := Eval("a"); err != nil {
+		t.Fatalf("disabled site returned %v", err)
+	}
+}
+
+func TestCountAndAfter(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	// Fire exactly twice, skipping the first hit.
+	Enable("b", Spec{Mode: ModeError, Count: 2, After: 1})
+	var failures int
+	for i := 0; i < 10; i++ {
+		if Eval("b") != nil {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("fired %d times, want 2", failures)
+	}
+	if Hits("b") != 10 {
+		t.Fatalf("hits = %d, want 10", Hits("b"))
+	}
+	if Fired("b") != 2 {
+		t.Fatalf("fired counter = %d, want 2", Fired("b"))
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("c", Spec{Mode: ModeDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Eval("c"); err != nil {
+		t.Fatalf("delay mode returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("d", Spec{Mode: ModePanic})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Site != "d" {
+			t.Fatalf("recovered %v, want PanicValue{d}", r)
+		}
+	}()
+	Eval("d")
+	t.Fatal("panic mode did not panic")
+}
+
+// Probability draws come from a deterministic per-site stream: the same
+// arming fires on the same hits every run.
+func TestProbDeterministic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	run := func() []bool {
+		Enable("e", Spec{Mode: ModeError, Prob: 0.3})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = Eval("e") != nil
+		}
+		Disable("e")
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across reruns", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	err := Configure("x=error, y=delay:5ms;prob=0.5;count=3, z=panic;after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x", "y", "z"} {
+		mu.RLock()
+		_, ok := sites[name]
+		mu.RUnlock()
+		if !ok {
+			t.Fatalf("site %q not armed", name)
+		}
+	}
+	if err := Eval("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("configured error site returned %v", err)
+	}
+	for _, bad := range []string{"noequals", "s=wat", "s=delay:xyz", "s=error;prob=2", "s=error;bogus=1"} {
+		if err := Configure(bad); err == nil {
+			t.Fatalf("Configure(%q) accepted", bad)
+		}
+	}
+	if err := Configure(""); err != nil {
+		t.Fatalf("empty config: %v", err)
+	}
+}

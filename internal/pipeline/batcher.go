@@ -3,11 +3,13 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parsample/internal/expr"
+	"parsample/internal/faultinject"
 	"parsample/internal/graph"
 )
 
@@ -37,8 +39,15 @@ import (
 //   - A cancelled leader delivers a retriable error; followers whose own
 //     context is still live re-enter and a new leader forms (the same
 //     semantics Store.Do gives waiters of a cancelled owner).
+//   - A leader that fails or panics before delivery still answers every
+//     waiter (panics are contained into errors), so no follower is ever
+//     stranded on its channel.
+//
+// The window is atomically adjustable at runtime: the serving tier widens
+// it under sustained load (graceful degradation — more coalescing, less
+// kernel work) and restores it when pressure drops.
 type sweepBatcher struct {
-	window   time.Duration
+	window   atomic.Int64 // nanoseconds; ≤ 0 disables coalescing
 	mu       sync.Mutex
 	pending  map[sweepKey]*sweepBatch
 	batches  atomic.Int64 // kernel invocations through the batcher
@@ -69,14 +78,23 @@ type sweepResult struct {
 }
 
 func newSweepBatcher(window time.Duration) *sweepBatcher {
-	return &sweepBatcher{window: window, pending: make(map[sweepKey]*sweepBatch)}
+	b := &sweepBatcher{pending: make(map[sweepKey]*sweepBatch)}
+	b.window.Store(int64(window))
+	return b
 }
+
+// Window returns the current batch window (≤ 0: coalescing disabled).
+func (b *sweepBatcher) Window() time.Duration { return time.Duration(b.window.Load()) }
+
+// SetWindow atomically replaces the batch window. In-flight batches keep
+// the window they opened with; the next build observes the new value.
+func (b *sweepBatcher) SetWindow(d time.Duration) { b.window.Store(int64(d)) }
 
 // build produces the correlation network of in.Matrix under in.Net,
 // batching with concurrent builds over the same key when a batch window is
 // configured.
 func (b *sweepBatcher) build(ctx context.Context, e *Engine, in Input) (*graph.Graph, error) {
-	if b.window <= 0 {
+	if b.Window() <= 0 {
 		// Batching disabled: the pre-batcher path, still counted so
 		// /statsz reports kernel invocations uniformly.
 		release, err := e.slot(ctx)
@@ -131,7 +149,7 @@ func (b *sweepBatcher) build(ctx context.Context, e *Engine, in Input) (*graph.G
 // waiter its graph. The leader is itself a registered waiter; its result
 // arrives on its own channel like everyone else's.
 func (b *sweepBatcher) lead(ctx context.Context, e *Engine, in Input, key sweepKey, batch *sweepBatch) {
-	timer := time.NewTimer(b.window)
+	timer := time.NewTimer(b.Window())
 	select {
 	case <-timer.C:
 	case <-ctx.Done():
@@ -143,7 +161,7 @@ func (b *sweepBatcher) lead(ctx context.Context, e *Engine, in Input, key sweepK
 	waiters := batch.waiters
 	b.mu.Unlock()
 
-	gs, err := b.run(ctx, e, in, waiters)
+	gs, err := b.leadRun(ctx, e, in, waiters)
 	for i, w := range waiters {
 		if err != nil {
 			w.ch <- sweepResult{err: err}
@@ -151,6 +169,26 @@ func (b *sweepBatcher) lead(ctx context.Context, e *Engine, in Input, key sweepK
 			w.ch <- sweepResult{g: gs[i]}
 		}
 	}
+}
+
+// leadRun is the leader's kernel invocation with its failure surface
+// pinned down: the handoff failpoint fires here, and a panicking kernel is
+// contained into an error so the delivery loop above always runs — a
+// leader failure must never strand followers on their channels.
+func (b *sweepBatcher) leadRun(ctx context.Context, e *Engine, in Input, waiters []sweepWaiter) (gs []*graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			gs, err = nil, fmt.Errorf("pipeline: batched sweep panicked: %v", r)
+		}
+	}()
+	// Failpoint: leader handoff (under the recover, so a panic-mode arming
+	// is contained too). Injecting context.Canceled here exercises the
+	// follower-retry path (a new leader forms); any other error is
+	// delivered to every waiter as the batch's failure.
+	if ferr := faultinject.Eval("pipeline.batcher.lead"); ferr != nil {
+		return nil, ferr
+	}
+	return b.run(ctx, e, in, waiters)
 }
 
 // run executes the batched kernel for the closed batch, deduplicating

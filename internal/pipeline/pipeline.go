@@ -245,6 +245,28 @@ func (e *Engine) Stats() StoreStats {
 	return st
 }
 
+// BatchWindow returns the current sweep-coalescing window.
+func (e *Engine) BatchWindow() time.Duration { return e.sweeps.Window() }
+
+// SetBatchWindow atomically adjusts the sweep-coalescing window at
+// runtime. The serving tier widens it under sustained load (wider window →
+// more concurrent sweeps share one kernel pass) and restores it when
+// pressure drops; results are identical at any width.
+func (e *Engine) SetBatchWindow(d time.Duration) { e.sweeps.SetWindow(d) }
+
+// NetworkResident reports whether the input's network-stage artifact would
+// be served without computing: adopted input graphs always are, and
+// matrix-backed networks are when resident in the store. This is the
+// admission layer's cold/warm probe — a resident network makes a request
+// cheap regardless of its declared dimensions — and deliberately does not
+// touch LRU order.
+func (e *Engine) NetworkResident(in Input) bool {
+	if in.G != nil {
+		return true
+	}
+	return e.store.Contains(in.key(StageNetwork, Original))
+}
+
 // slot acquires a bounded-concurrency worker slot, or fails once ctx is
 // cancelled. Stage computes hold a slot only around their own kernel, never
 // while resolving dependencies.

@@ -4,7 +4,11 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"sync"
+
+	"parsample/internal/faultinject"
 )
 
 // Source reports how a Store.Do call obtained its artifact.
@@ -134,6 +138,10 @@ func (s *Store) Stats() StoreStats {
 // whether this call hit the cache, joined an in-flight computation, or
 // computed.
 func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (any, int64, error)) (any, Source, error) {
+	// Failpoint: every store request (DESIGN.md §8 failpoint catalog).
+	if err := faultinject.Eval("pipeline.store.get"); err != nil {
+		return nil, Computed, err
+	}
 	for {
 		s.mu.Lock()
 		if el, ok := s.entries[key]; ok {
@@ -170,7 +178,16 @@ func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (
 		s.misses++
 		s.mu.Unlock()
 
-		val, bytes, err := compute(ctx)
+		val, bytes, err := runCompute(ctx, compute)
+		if err == nil {
+			// Failpoint: a put that fails after a successful compute. The
+			// failure discipline holds — nothing is inserted, every waiter
+			// of this flight receives the error, and the next attempt
+			// recomputes from scratch.
+			if ferr := faultinject.Eval("pipeline.store.put"); ferr != nil {
+				val, err = nil, ferr
+			}
+		}
 		f.val, f.err = val, err
 		s.mu.Lock()
 		delete(s.inflight, key)
@@ -184,6 +201,22 @@ func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (
 		}
 		return val, Computed, nil
 	}
+}
+
+// runCompute invokes compute with panic containment: a panicking kernel is
+// converted into an error instead of killing the process, so one poisoned
+// request cannot take a shared daemon down. The store's failure discipline
+// then applies as for any compute error — nothing is inserted, waiters get
+// the error, the next attempt recomputes.
+func runCompute(ctx context.Context, compute func(context.Context) (any, int64, error)) (val any, bytes int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := make([]byte, 4<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			val, bytes, err = nil, 0, fmt.Errorf("pipeline: artifact compute panicked: %v\n%s", r, stack)
+		}
+	}()
+	return compute(ctx)
 }
 
 // insert adds a resident entry and evicts from the LRU tail until the byte

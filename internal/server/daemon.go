@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"parsample"
+	"parsample/internal/faultinject"
 )
 
 // RunDaemon parses daemon flags and serves the v1 API until SIGINT/SIGTERM,
@@ -28,9 +30,20 @@ func RunDaemon(prog string, args []string) error {
 		datasets  = fs.String("datasets", "", "comma-separated datasets to serve, pre-built at startup (YNG,MID,UNT,CRE); empty serves all, built lazily")
 		maxBodyMB = fs.Int64("max-body-mb", 64, "request body limit in MiB")
 		batchWin  = fs.Duration("batch-window", 2*time.Millisecond, "how long a correlation-network build waits to coalesce concurrent same-data sweeps into one batched kernel pass (0 disables)")
+		capacity  = fs.Float64("capacity-units", 0, "admission budget in cost units concurrently in flight (0: 2000; see api.EstimateCost)")
+		queueLim  = fs.Int("queue-limit", 0, "max requests queued at the admission gate before 429s (0: 64)")
+		clientRt  = fs.Float64("client-rate", 0, "per-client fair-share refill in cost units/second (0: capacity/2)")
+		clientBur = fs.Float64("client-burst", 0, "per-client fair-share bucket depth in cost units (0: capacity)")
+		failpts   = fs.String("failpoints", os.Getenv("PARSAMPLE_FAILPOINTS"), "fault-injection spec, e.g. \"pipeline.store.put=error;prob=0.01\" (default: $PARSAMPLE_FAILPOINTS; testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *failpts != "" {
+		if err := faultinject.Configure(*failpts); err != nil {
+			return fmt.Errorf("%s: -failpoints: %w", prog, err)
+		}
+		log.Printf("%s: fault injection armed: %s", prog, *failpts)
 	}
 
 	var opts []parsample.Option
@@ -52,8 +65,15 @@ func RunDaemon(prog string, args []string) error {
 	}
 	p := parsample.New(opts...)
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           New(Config{Pipeline: p, MaxBodyBytes: *maxBodyMB << 20}),
+		Addr: *addr,
+		Handler: New(Config{
+			Pipeline:         p,
+			MaxBodyBytes:     *maxBodyMB << 20,
+			CapacityUnits:    *capacity,
+			QueueLimit:       *queueLim,
+			ClientRateUnits:  *clientRt,
+			ClientBurstUnits: *clientBur,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

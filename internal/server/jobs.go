@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"parsample/api"
+	"parsample/internal/faultinject"
 	"parsample/internal/pipeline"
 )
 
@@ -179,18 +180,37 @@ func (s *jobStore) counts() jobCounts {
 }
 
 // handleJobSubmit is POST /v1/jobs: validate eagerly (malformed requests
-// fail with a 400 now, not a failed job later), then run in the
-// background and return the job id immediately.
+// fail with a 400 now, not a failed job later), admit through the gate
+// (batch class by default — a 429/503 rejection happens at submission,
+// not as a failed job later), then run in the background and return the
+// job id immediately. The job holds its admitted units until its run
+// returns, so queued async work counts against the same compute budget
+// as synchronous requests.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	if _, err := req.Normalized(); err != nil {
+	norm, err := req.Normalized()
+	if err != nil {
 		writeError(w, err)
 		return
 	}
+	adm, ae := s.admit(r, norm, classFor(r, classBatch))
+	if ae != nil {
+		writeError(w, ae)
+		return
+	}
+	req = norm
 	ctx, cancel := context.WithCancel(context.Background())
+	if norm.DeadlineMillis > 0 {
+		// The deadline clocks compute, not queue time — and admission has
+		// already happened, so it starts now.
+		dctx, dcancel := context.WithTimeout(ctx, time.Duration(norm.DeadlineMillis)*time.Millisecond)
+		ctx = dctx
+		prev := cancel
+		cancel = func() { dcancel(); prev() }
+	}
 	j := s.jobs.create(cancel)
 	// One event per artifact: the engine traces every store request,
 	// including cache hits taken while resolving a later stage's
@@ -213,10 +233,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	go func() {
 		defer cancel()
+		defer adm.release()
 		resp, err := s.p.Do(ctx, req)
 		switch {
 		case err == nil:
 			j.finish(JobDone, resp, nil)
+		case req.DeadlineMillis > 0 && errors.Is(err, context.DeadlineExceeded):
+			j.finish(JobFailed, nil, api.WrapError(api.CodeDeadlineExceeded, err,
+				"job exceeded its %dms deadline", req.DeadlineMillis))
 		case errors.Is(err, context.Canceled):
 			j.finish(JobCancelled, nil, api.Errorf(api.CodeCancelled, "job cancelled"))
 		default:
@@ -247,7 +271,14 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 // handleJobCancel is DELETE /v1/jobs/{id}: request cancellation. The
 // kernels unwind cooperatively; poll GET (or watch the event stream) for
-// the terminal "cancelled" status. Cancelling a finished job is a no-op.
+// the terminal "cancelled" status.
+//
+// DELETE is idempotent: on a job that already reached a terminal state it
+// is a no-op answered 200 with the (unchanged) terminal info, and
+// concurrent DELETEs of one job are safe — context.CancelFunc is
+// idempotent, and the cancel-then-snapshot order below means at least one
+// racer observes (and reports) the still-running state as 202 while none
+// can resurrect or corrupt a finished job.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id, ok := pathID(w, r)
 	if !ok {
@@ -259,7 +290,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
-	writeJSON(w, http.StatusAccepted, j.info())
+	info := j.info()
+	status := http.StatusAccepted
+	if info.Status != JobRunning {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
 }
 
 // handleJobEvents is GET /v1/jobs/{id}/events: an SSE stream replaying the
@@ -285,11 +321,22 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// Slow-consumer shedding: each frame gets sseWriteTimeout to drain
+	// into the peer's socket. A consumer that cannot keep up stalls its
+	// own connection only — the write deadline trips, the stream is
+	// dropped (counted in /statsz shed.sseSlowConsumers), and the compute
+	// side is untouched (j.record never blocks on subscribers).
+	sse := &sseWriter{w: w, fl: fl, rc: http.NewResponseController(w)}
+
 	ch := make(chan Event, 256)
 	replay := j.subscribe(ch)
 	defer j.unsubscribe(ch)
 	for _, e := range replay {
-		if !writeEvent(w, fl, e) || e.Type == "done" {
+		if !sse.writeEvent(e) {
+			s.gate.countShedSSE()
+			return
+		}
+		if e.Type == "done" {
 			return
 		}
 	}
@@ -298,31 +345,63 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case e := <-ch:
-			if !writeEvent(w, fl, e) || e.Type == "done" {
+			if !sse.writeEvent(e) {
+				s.gate.countShedSSE()
+				return
+			}
+			if e.Type == "done" {
 				return
 			}
 		case <-heartbeat.C:
 			// SSE comment frame: keeps idle proxies from timing the
 			// stream out while a long kernel runs.
-			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+			if !sse.writeRaw(": keepalive\n\n") {
+				s.gate.countShedSSE()
 				return
 			}
-			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
 	}
 }
 
-// writeEvent emits one SSE frame; false when the client is gone.
-func writeEvent(w http.ResponseWriter, fl http.Flusher, e Event) bool {
+// sseWriteTimeout is the per-frame write deadline of an SSE stream; a
+// consumer that cannot drain a frame this fast is shed.
+const sseWriteTimeout = 10 * time.Second
+
+// sseWriter writes SSE frames under a per-write deadline.
+type sseWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+	rc *http.ResponseController
+}
+
+// writeEvent emits one SSE frame; false when the client is gone or too
+// slow.
+func (s *sseWriter) writeEvent(e Event) bool {
 	b, err := json.Marshal(e)
 	if err != nil {
 		return false
 	}
-	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, b); err != nil {
+	return s.writeRaw(fmt.Sprintf("event: %s\ndata: %s\n\n", e.Type, b))
+}
+
+func (s *sseWriter) writeRaw(frame string) bool {
+	// Failpoint: a slow consumer whose TCP buffer is full surfaces as a
+	// blocked write that trips the deadline; the injected error simulates
+	// that without needing a real stalled socket.
+	if err := faultinject.Eval("server.sse.write"); err != nil {
 		return false
 	}
-	fl.Flush()
+	// Roll the deadline forward for this frame. ErrNotSupported (a
+	// recorder or a middleware without deadline plumbing) degrades to
+	// unbounded writes rather than failing the stream.
+	if err := s.rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		return false
+	}
+	if _, err := fmt.Fprint(s.w, frame); err != nil {
+		return false
+	}
+	s.fl.Flush()
 	return true
 }

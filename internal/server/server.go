@@ -25,6 +25,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"parsample"
 	"parsample/api"
@@ -37,12 +40,43 @@ type Config struct {
 	Pipeline *parsample.Pipeline
 	// MaxBodyBytes bounds request bodies (0: 64 MiB).
 	MaxBodyBytes int64
+	// CapacityUnits is the admission gate's concurrent compute budget in
+	// cost units (api.EstimateCost; 0: 2000 — about two seconds of
+	// single-threaded kernel time in flight).
+	CapacityUnits float64
+	// QueueLimit bounds waiters parked at the admission gate across both
+	// priority classes (0: 64). Requests beyond it get a 429.
+	QueueLimit int
+	// ClientRateUnits / ClientBurstUnits parameterize the per-client
+	// fairness token bucket (0: capacity/2 per second, burst = capacity).
+	ClientRateUnits  float64
+	ClientBurstUnits float64
 }
 
 // CacheHeader is the response header reporting cache provenance of a
 // synchronous run: "hit" when every stage was served resident, "miss"
 // when any stage computed.
 const CacheHeader = "X-Parsample-Cache"
+
+// Cost headers: the admission-time estimate and the measured compute of a
+// synchronous run, both in cost units. They travel as headers for the
+// same reason CacheHeader does — response bodies are a pure function of
+// the normalized request, and cost is server state, not result.
+const (
+	CostEstimateHeader = "X-Parsample-Cost-Estimate"
+	CostActualHeader   = "X-Parsample-Cost-Actual"
+)
+
+// warmCostUnits is the admission price of a request whose expensive
+// artifacts are already resident (Pipeline.Resident): a warm repeat is a
+// store lookup, not a kernel run, so it is admitted at the floor price
+// and never queues behind cold work it would not contend with.
+const warmCostUnits = 1
+
+// degradedRetryAfterSec is the Retry-After of a cold request shed at
+// degradation level 2: pressure that trips the ladder drains on the order
+// of the queue, not of one request.
+const degradedRetryAfterSec = 2
 
 // Server routes the v1 service API onto one shared Pipeline. Safe for
 // concurrent use; create with New.
@@ -51,6 +85,10 @@ type Server struct {
 	maxBody int64
 	jobs    *jobStore
 	mux     *http.ServeMux
+
+	gate       *admitGate
+	baseWindow time.Duration // the batch window degradation restores to
+	lastLevel  atomic.Int32  // last applied degradation rung
 }
 
 // New creates a Server over cfg.Pipeline.
@@ -62,7 +100,18 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = 64 << 20
 	}
-	s := &Server{p: cfg.Pipeline, maxBody: maxBody, jobs: newJobStore()}
+	s := &Server{
+		p:       cfg.Pipeline,
+		maxBody: maxBody,
+		jobs:    newJobStore(),
+		gate: newAdmitGate(admitConfig{
+			Capacity:    cfg.CapacityUnits,
+			QueueLimit:  cfg.QueueLimit,
+			ClientRate:  cfg.ClientRateUnits,
+			ClientBurst: cfg.ClientBurstUnits,
+		}),
+		baseWindow: cfg.Pipeline.BatchWindow(),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -80,20 +129,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// handlePipeline is POST /v1/pipeline: one synchronous end-to-end run.
+// handlePipeline is POST /v1/pipeline: one synchronous end-to-end run,
+// behind the admission gate (priced by api.EstimateCost, discounted when
+// the request's artifacts are resident).
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
+	norm, err := req.Normalized()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	adm, ae := s.admit(r, norm, classFor(r, classInteractive))
+	if ae != nil {
+		writeError(w, ae)
+		return
+	}
+	defer adm.release()
+
+	ctx := r.Context()
+	if norm.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(norm.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
 	warm := true
-	ctx := pipeline.WithObserver(r.Context(), func(e pipeline.TraceEntry) {
+	var computedMS float64
+	ctx = pipeline.WithObserver(ctx, func(e pipeline.TraceEntry) {
 		if e.Source == pipeline.Computed {
 			warm = false
+			computedMS += float64(e.Duration.Microseconds()) / 1000
 		}
 	})
-	resp, err := s.p.Do(ctx, req)
+	resp, err := s.p.Do(ctx, norm)
 	if err != nil {
+		if norm.DeadlineMillis > 0 && errors.Is(err, context.DeadlineExceeded) {
+			err = api.WrapError(api.CodeDeadlineExceeded, err,
+				"run exceeded its %dms deadline", norm.DeadlineMillis)
+		}
 		writeError(w, err)
 		return
 	}
@@ -102,7 +177,102 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		cache = "hit"
 	}
 	w.Header().Set(CacheHeader, cache)
+	w.Header().Set(CostEstimateHeader, formatUnits(adm.estimate))
+	w.Header().Set(CostActualHeader, formatUnits(computedMS))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// admission is one admitted request's grant.
+type admission struct {
+	release  func()
+	estimate float64 // the cold-cost estimate in units (pre-discount)
+	units    float64 // the admitted (possibly warm-discounted) price
+}
+
+// classFor maps the priority header onto a class; dflt applies when the
+// header is absent or unknown.
+func classFor(r *http.Request, dflt classID) classID {
+	switch r.Header.Get(PriorityHeader) {
+	case "interactive":
+		return classInteractive
+	case "batch":
+		return classBatch
+	}
+	return dflt
+}
+
+// admit prices norm, applies the degradation ladder, and acquires the
+// admission gate. On rejection the returned *api.Error is ready to write
+// (structured code + Retry-After). On success the caller owns
+// admission.release.
+func (s *Server) admit(r *http.Request, norm *api.Request, class classID) (*admission, *api.Error) {
+	est := api.EstimateCost(norm)
+	units := est.Units
+	warm := s.p.Resident(norm)
+	if warm {
+		units = warmCostUnits
+	}
+	// Deadline feasibility: a request whose own deadline is below its
+	// compute estimate can never succeed; reject it before it spends
+	// budget. Queue wait is excluded by the DeadlineMillis contract.
+	if norm.DeadlineMillis > 0 && units > float64(norm.DeadlineMillis) {
+		return nil, api.Errorf(api.CodeOverCapacity,
+			"deadline %dms is below the estimated compute cost of %.0f units; raise the deadline or shrink the request",
+			norm.DeadlineMillis, units)
+	}
+	// Degradation rung 2: shed cold synthesis work before any cached work
+	// is turned away — resident artifacts answer in microseconds and keep
+	// the service useful while the backlog drains. A request the queue
+	// bound would reject anyway skips the shed and gets the gate's 429.
+	if !warm && norm.Network.Synthesis != nil &&
+		s.gate.level() >= degradeShedCold && !s.gate.queueFull(units) {
+		s.gate.countShedCold()
+		s.applyPressure()
+		ae := api.Errorf(api.CodeDegraded,
+			"server is shedding cold synthesis requests under load; retry after %ds", degradedRetryAfterSec)
+		ae.RetryAfterSec = degradedRetryAfterSec
+		return nil, ae
+	}
+	client := r.Header.Get(ClientHeader)
+	if client == "" {
+		client = "anonymous"
+	}
+	release, ae := s.gate.Admit(r.Context(), client, class, units)
+	if ae != nil {
+		s.applyPressure()
+		return nil, ae
+	}
+	s.applyPressure()
+	return &admission{
+		release: func() {
+			release()
+			s.applyPressure()
+		},
+		estimate: est.Units,
+		units:    units,
+	}, nil
+}
+
+// applyPressure re-derives the degradation rung from gate pressure and
+// applies its batch-window side effect: rung ≥ 1 widens the engine's
+// sweep-batch window 8× (concurrent cold sweeps coalesce harder, cutting
+// kernel work per admitted request), rung 0 restores the configured
+// window. A pipeline configured with batching disabled stays disabled —
+// the operator's choice outranks the ladder.
+func (s *Server) applyPressure() {
+	lvl := int32(s.gate.level())
+	if s.lastLevel.Swap(lvl) == lvl || s.baseWindow <= 0 {
+		return
+	}
+	if lvl >= degradeCoalesce {
+		s.p.SetBatchWindow(8 * s.baseWindow)
+	} else {
+		s.p.SetBatchWindow(s.baseWindow)
+	}
+}
+
+func formatUnits(u float64) string {
+	return strconv.FormatFloat(u, 'f', 1, 64)
 }
 
 // handleHealthz is GET /healthz.
@@ -110,21 +280,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleStatsz is GET /statsz: the artifact-store counters plus job
-// bookkeeping.
+// handleStatsz is GET /statsz: the artifact-store counters, job
+// bookkeeping, and the admission gate's pressure counters.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	type statsz struct {
-		Store parsample.PipelineStats `json:"store"`
-		Jobs  jobCounts               `json:"jobs"`
+		Store     parsample.PipelineStats `json:"store"`
+		Jobs      jobCounts               `json:"jobs"`
+		Admission admitStats              `json:"admission"`
 	}
-	writeJSON(w, http.StatusOK, statsz{Store: s.p.Stats(), Jobs: s.jobs.counts()})
+	adm := s.gate.stats()
+	adm.Level = s.gate.level()
+	adm.BatchWindowMS = float64(s.p.BatchWindow().Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, statsz{Store: s.p.Stats(), Jobs: s.jobs.counts(), Admission: adm})
 }
 
 // decodeRequest reads and strictly decodes the request body, writing a
-// structured 400 on failure.
+// structured 400 on failure — or a structured 413 payload_too_large when
+// the body-limit reader tripped (api.ReadRequest preserves the
+// *http.MaxBytesError in its error chain for exactly this check).
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*api.Request, bool) {
 	req, err := api.ReadRequest(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.gate.countTooLarge()
+			err = api.WrapError(api.CodePayloadTooLarge, err,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+		}
 		writeError(w, err)
 		return nil, false
 	}
@@ -150,7 +332,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 const statusCancelled = 499
 
 // writeError maps an error onto a status code and a structured api.Error
-// body.
+// body; load-shedding errors additionally carry a Retry-After header
+// mirroring RetryAfterSec.
 func writeError(w http.ResponseWriter, err error) {
 	var ae *api.Error
 	if !errors.As(err, &ae) {
@@ -159,6 +342,9 @@ func writeError(w http.ResponseWriter, err error) {
 		} else {
 			ae = api.Errorf(api.CodeInternal, "%v", err)
 		}
+	}
+	if ae.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSec))
 	}
 	writeJSON(w, errorStatus(ae), ae)
 }
@@ -172,6 +358,14 @@ func errorStatus(ae *api.Error) int {
 		return http.StatusNotFound
 	case api.CodeCancelled:
 		return statusCancelled
+	case api.CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case api.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case api.CodeOverCapacity, api.CodeDegraded:
+		return http.StatusServiceUnavailable
+	case api.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
