@@ -188,16 +188,16 @@ func (g *generator) fire(seed int64, client, priority string) shot {
 // ---------------------------------------------------------------- phases
 
 type phaseReport struct {
-	Phase      string           `json:"phase"`
-	Requests   int              `json:"requests"`
-	Statuses   map[string]int   `json:"statuses"`
-	Rejections map[string]int   `json:"rejections,omitempty"`
-	CacheHit   float64          `json:"cacheHitRate"`
-	P50MS      float64          `json:"p50Ms"`
-	P95MS      float64          `json:"p95Ms"`
-	P99MS      float64          `json:"p99Ms"`
-	Extra      map[string]any   `json:"extra,omitempty"`
-	shots      []shot           `json:"-"`
+	Phase      string         `json:"phase"`
+	Requests   int            `json:"requests"`
+	Statuses   map[string]int `json:"statuses"`
+	Rejections map[string]int `json:"rejections,omitempty"`
+	CacheHit   float64        `json:"cacheHitRate"`
+	P50MS      float64        `json:"p50Ms"`
+	P95MS      float64        `json:"p95Ms"`
+	P99MS      float64        `json:"p99Ms"`
+	Extra      map[string]any `json:"extra,omitempty"`
+	shots      []shot         `json:"-"`
 }
 
 type generator struct {
@@ -498,11 +498,11 @@ func (g *generator) phaseSlowLoris() phaseReport {
 
 type statszBody struct {
 	Admission struct {
-		CapacityUnits float64 `json:"capacityUnits"`
-		InUseUnits    float64 `json:"inUseUnits"`
-		QueueDepth    int     `json:"queueDepth"`
-		QueueLimit    int     `json:"queueLimit"`
-		Admitted      int64   `json:"admitted"`
+		CapacityUnits float64          `json:"capacityUnits"`
+		InUseUnits    float64          `json:"inUseUnits"`
+		QueueDepth    int              `json:"queueDepth"`
+		QueueLimit    int              `json:"queueLimit"`
+		Admitted      int64            `json:"admitted"`
 		Rejected      map[string]int64 `json:"rejected"`
 		Shed          struct {
 			ColdRequests     int64 `json:"coldRequests"`

@@ -1,0 +1,63 @@
+// Command parsamplevet runs the parsample static-analysis suite
+// (internal/analyzers): machine checks for the repo's determinism,
+// cancellation, and cache-identity invariants.
+//
+// Usage:
+//
+//	go run ./cmd/parsamplevet ./...
+//
+// The binary is a go/analysis unitchecker: invoked with package patterns it
+// re-executes itself through `go vet -vettool`, which handles package
+// loading, export data, and build caching, and prints findings in
+// file:line:col: message form. Invoked by go vet (with a *.cfg argument) it
+// analyzes a single compilation unit.
+//
+// Findings are suppressed line-by-line with a mandatory reason:
+//
+//	//parsamplevet:ignore <analyzer> <reason>
+//	//lint:ignore parsamplevet/<analyzer> <reason>
+//
+// See DESIGN.md §9 for the invariant catalog.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"parsample/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet drives the tool with -flags (flag schema), -V=full (version
+	// fingerprint for the build cache) or a unitchecker config file;
+	// everything else is a human invocation with package patterns.
+	for _, a := range args {
+		if a == "-flags" || a == "-V=full" || strings.HasSuffix(a, ".cfg") {
+			unitchecker.Main(analyzers.Suite()...) // never returns
+		}
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parsamplevet: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "parsamplevet: %v\n", err)
+		os.Exit(1)
+	}
+}

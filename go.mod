@@ -1,3 +1,7 @@
 module parsample
 
 go 1.24
+
+// Vendored from the Go distribution's cmd/vendor tree (same x/tools
+// pseudo-version the toolchain itself builds vet from); no network fetch.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,164 @@
+// Package analyzertest is a miniature, dependency-light analysistest: it
+// loads one package from testdata/src, typechecks it against the standard
+// library with the source importer (no go command, no export data — the
+// same offline constraint the rest of the toolchain integration lives
+// under), runs a single analyzer over it, and matches the reported
+// diagnostics against // want expectations embedded in the testdata.
+//
+// Expectation syntax, checked per line:
+//
+//	code()        // want "regexp"
+//	code()        // want "first regexp" "second regexp"
+//	// want+1 "regexp on the NEXT line"
+//
+// The offset form exists for diagnostics that land on a line already fully
+// occupied by a //-comment — e.g. a suppression directive missing its
+// reason, which is reported at the directive itself.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// expectation is one parsed // want entry: a diagnostic whose message
+// matches re must be reported at (file, line).
+type expectation struct {
+	file string
+	line int
+	src  string // the original pattern text, for failure messages
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want([+-][0-9]+)?\s+(.+)$`)
+
+// Run loads testdata/src/<path> (path doubles as the package's import path,
+// so analyzer package-scope regexps see it), applies a, and compares
+// diagnostics against the // want comments. Exactly the analysistest
+// contract: every diagnostic must be expected, every expectation must fire.
+func Run(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no testdata sources in %s: %v", dir, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]any{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		file := filepath.Base(p.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == file && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", file, p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.src)
+		}
+	}
+}
+
+// collectWants parses every // want comment of the package.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				rest := strings.TrimSpace(m[2])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern: %s", pos, rest)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line + offset,
+						src:  pat,
+						re:   re,
+					})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}

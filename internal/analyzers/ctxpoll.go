@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"flag"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CtxPoll enforces the PR 4 cancellation contract: a ...Context kernel
+// entry point that loops must poll cancellation inside the loop — directly
+// (ctx.Err / ctx.Done) or by delegating to another context-aware call — so
+// a cancelled pipeline run unwinds mid-kernel instead of running the sweep
+// to completion. It also flags context.Context stored in struct fields
+// outside the known request/job carrier types: a stored context outlives
+// its request and silently detaches work from cancellation.
+var CtxPoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "flag ...Context kernel functions whose loops never poll cancellation\n\n" +
+		"Cancellation in the kernels is cooperative: every BuildNetworkContext-\n" +
+		"style entry point promises a bounded poll interval (DESIGN.md §5). A\n" +
+		"loop that neither checks ctx.Err()/ctx.Done() nor passes ctx onward\n" +
+		"breaks that promise for the whole pipeline above it.",
+	Run: runCtxPoll,
+}
+
+var (
+	ctxPollScope = scopeFlag{expr: `(^|/)(expr|chordal|mcode|analysis|sampling|pipeline)$`}
+	// ctxFieldAllow matches struct type names that may legitimately carry a
+	// context (request/job state machines that own the request lifetime).
+	ctxFieldAllow = scopeFlag{expr: `(Request|Job|Task)$`}
+)
+
+func init() {
+	CtxPoll.Flags.Init("ctxpoll", flag.ExitOnError)
+	CtxPoll.Flags.StringVar(&ctxPollScope.expr, "packages", ctxPollScope.expr,
+		"regexp of package paths the analyzer applies to")
+	CtxPoll.Flags.StringVar(&ctxFieldAllow.expr, "ctxfields", ctxFieldAllow.expr,
+		"regexp of struct type names allowed to store a context.Context")
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	if !ctxPollScope.match(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rep := newReporter(pass, "ctxpoll")
+	for _, f := range sourceFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFunc(pass, rep, n)
+			case *ast.TypeSpec:
+				checkCtxField(pass, rep, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxFunc flags ...Context functions that loop without polling.
+func checkCtxFunc(pass *analysis.Pass, rep *reporter, fd *ast.FuncDecl) {
+	if fd.Body == nil || !isContextFuncName(fd.Name.Name) {
+		return
+	}
+	params := fd.Type.Params
+	if params == nil || params.NumFields() == 0 {
+		return
+	}
+	firstParam := params.List[0]
+	if t := pass.TypesInfo.TypeOf(firstParam.Type); t == nil || !isContextType(t) {
+		return
+	}
+
+	loops, polledLoops := 0, 0
+	var inspectLoop func(n ast.Node)
+	inspectLoop = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := m.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			loops++
+			if loopPolls(pass, body) {
+				polledLoops++
+			}
+			return true
+		})
+	}
+	inspectLoop(fd.Body)
+	if loops > 0 && polledLoops == 0 {
+		rep.reportf(fd.Name.Pos(), "%s loops but never polls cancellation: check ctx.Err()/ctx.Done() (or pass ctx onward) inside the loop", fd.Name.Name)
+	}
+}
+
+// isContextFuncName reports whether the function participates in the
+// ...Context naming contract.
+func isContextFuncName(name string) bool {
+	const suffix = "Context"
+	return len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// loopPolls reports whether the loop body contains a cancellation poll: a
+// ctx.Err()/ctx.Done() call, or any call that receives a context.Context
+// argument (delegation to a context-aware callee — including the kernels'
+// own polling helpers — counts as a poll at this level).
+func loopPolls(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	info := pass.TypesInfo
+	polled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polled {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextExpr(info, sel.X) {
+				polled = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if isContextExpr(info, arg) {
+				polled = true
+				return false
+			}
+		}
+		return true
+	})
+	return polled
+}
+
+func isContextExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isContextType(t)
+}
+
+// checkCtxField flags context.Context struct fields outside the allowed
+// request/job carrier types.
+func checkCtxField(pass *analysis.Pass, rep *reporter, ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	if ctxFieldAllow.match(ts.Name.Name) {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isContextType(t) {
+			rep.reportNode(field, "context.Context stored in struct field of %s: contexts are call-scoped; thread ctx through calls or allowlist the type via -ctxpoll.ctxfields", ts.Name.Name)
+		}
+	}
+}

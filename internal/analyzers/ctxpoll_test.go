@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"parsample/internal/analyzers"
+	"parsample/internal/analyzers/analyzertest"
+)
+
+// TestCtxPoll covers the unpolled-loop positive, the three approved poll
+// shapes (ctx.Err, Done-channel select, delegation), the out-of-contract
+// negatives, stored-context fields with and without the carrier-type
+// allowlist, and a suppressed legacy entry point.
+func TestCtxPoll(t *testing.T) {
+	analyzertest.Run(t, analyzers.CtxPoll, "ctxpoll/chordal")
+}

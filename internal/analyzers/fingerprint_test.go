@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"parsample/internal/analyzers"
+	"parsample/internal/analyzers/analyzertest"
+)
+
+// TestFingerprint covers whole-struct leaks (run-param block and
+// classified field), the clear-before-hash and json:"-" negatives,
+// delegation through a same-package hashing helper, a direct selector
+// chain into the digest, and a suppressed legacy fingerprint.
+func TestFingerprint(t *testing.T) {
+	analyzertest.Run(t, analyzers.Fingerprint, "fingerprint/api")
+}

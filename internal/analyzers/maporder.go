@@ -1,0 +1,373 @@
+package analyzers
+
+import (
+	"flag"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// MapOrder flags range-over-map loops whose body observably depends on
+// iteration order: appending to an outer slice (without a later sort),
+// writing output, sending on a channel, feeding a hash, or selecting a
+// "best" key without a tie-break on the key. This is the class of the PR 4
+// DeepestCommonParent bug, where an equal-depth tie was broken by map
+// iteration order and leaked into Figure 9/11 output.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive consumption of map iteration in kernel/output packages\n\n" +
+		"Every pipeline artifact must be a pure function of its inputs; Go map\n" +
+		"iteration order is randomized, so anything ordered that is built while\n" +
+		"ranging a map (slices that reach output, stream writes, channel sends,\n" +
+		"hash feeds, arg-max selections with ties) must sort first or tie-break\n" +
+		"on the key.",
+	Run: runMapOrder,
+}
+
+var mapOrderScope = scopeFlag{expr: kernelScope}
+
+func init() {
+	MapOrder.Flags.Init("maporder", flag.ExitOnError)
+	MapOrder.Flags.StringVar(&mapOrderScope.expr, "packages", mapOrderScope.expr,
+		"regexp of package paths the analyzer applies to")
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	if !mapOrderScope.match(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rep := newReporter(pass, "maporder")
+	for _, f := range sourceFiles(pass) {
+		for _, body := range functionBodies(f) {
+			checkMapOrderBody(pass, rep, body)
+		}
+	}
+	return nil, nil
+}
+
+// functionBodies returns the body of every function declared in f —
+// FuncDecls and FuncLits alike — so each body is analyzed exactly once as
+// its own unit.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// walkShallow walks n without descending into nested function literals,
+// whose statements belong to a different execution context.
+func walkShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+func checkMapOrderBody(pass *analysis.Pass, rep *reporter, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// sortedObjs collects every object that appears in the arguments of a
+	// sort/slices call in this body, with the call position: an append
+	// inside a map range is fine when the slice is deterministically
+	// ordered before anyone reads it.
+	type sortCall struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var sorts []sortCall
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := calleeFunc(info, call); ok && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(a ast.Node) bool {
+						if id, ok := a.(*ast.Ident); ok {
+							if obj := info.ObjectOf(id); obj != nil {
+								sorts = append(sorts, sortCall{obj, call.Pos()})
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+	sortedAfter := func(obj types.Object, pos token.Pos) bool {
+		for _, s := range sorts {
+			if s.obj == obj && s.pos > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	walkShallow(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rep, rs, sortedAfter)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, rep *reporter, rs *ast.RangeStmt, sortedAfter func(types.Object, token.Pos) bool) {
+	info := pass.TypesInfo
+	keyObj := identObject(info, rs.Key)
+
+	// outer reports whether the identifier resolves to a variable declared
+	// outside the range statement (whose state therefore survives the loop
+	// in iteration order).
+	outer := func(id *ast.Ident) (types.Object, bool) {
+		obj := info.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil, false
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return nil, false
+		}
+		return obj, true
+	}
+
+	// ifStack tracks the conditions guarding the node under inspection so
+	// selection assignments can be checked for a key tie-break.
+	var ifStack []*ast.IfStmt
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.IfStmt:
+			ifStack = append(ifStack, n)
+			visit(n.Body)
+			if n.Else != nil {
+				visit(n.Else)
+			}
+			ifStack = ifStack[:len(ifStack)-1]
+			if n.Init != nil {
+				visit(n.Init)
+			}
+			return
+		case *ast.SendStmt:
+			rep.reportNode(n, "channel send inside range over map: delivery order depends on map iteration order")
+		case *ast.AssignStmt:
+			checkSelectionAssign(rep, n, keyObj, outer, ifStack, info)
+		case *ast.CallExpr:
+			checkMapRangeCall(rep, n, rs, outer, sortedAfter, info)
+		}
+		// Generic descent (skipping the cases handled above that return).
+		children(n, visit)
+	}
+	visit(rs.Body)
+}
+
+// children invokes visit on each direct child node of n.
+func children(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			visit(m)
+		}
+		return false
+	})
+}
+
+// checkMapRangeCall flags appends to outer slices, output writes, and hash
+// feeds inside a map-range body.
+func checkMapRangeCall(rep *reporter, call *ast.CallExpr, rs *ast.RangeStmt, outer func(*ast.Ident) (types.Object, bool), sortedAfter func(types.Object, token.Pos) bool, info *types.Info) {
+	// append(dst, ...) where dst outlives the loop.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if root := rootIdent(call.Args[0]); root != nil {
+				if obj, isOuter := outer(root); isOuter && !sortedAfter(obj, rs.End()) {
+					rep.reportNode(call, "append to %s inside range over map builds an iteration-ordered slice: sort it before it is read, or iterate sorted keys", root.Name)
+				}
+			}
+		}
+		return
+	}
+	fn, ok := calleeFunc(info, call)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		rep.reportNode(call, "%s.%s inside range over map writes in map iteration order", path, name)
+	case strings.HasPrefix(path, "crypto/") || path == "hash" || strings.HasPrefix(path, "hash/"):
+		rep.reportNode(call, "hash feed (%s.%s) inside range over map: the digest depends on map iteration order", path, name)
+	case fn.Type() != nil && isWriterMethod(fn):
+		rep.reportNode(call, "%s.%s inside range over map writes in map iteration order", recvTypeName(fn), name)
+	}
+}
+
+// isWriterMethod reports whether fn is a method whose name marks it as an
+// ordered output or hash sink.
+func isWriterMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return true
+	}
+	return false
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkSelectionAssign flags `best = key`-style updates that are guarded
+// only by comparisons on derived values: when two keys compare equal on the
+// derived value, the winner is whichever the map yields first. A comparison
+// with the key itself anywhere in the guarding conditions is the
+// deterministic tie-break (the post-PR 4 DeepestCommonParent shape).
+func checkSelectionAssign(rep *reporter, as *ast.AssignStmt, keyObj types.Object, outer func(*ast.Ident) (types.Object, bool), ifStack []*ast.IfStmt, info *types.Info) {
+	if keyObj == nil {
+		return
+	}
+	usesKey := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == keyObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	assignsKeyToOuter := false
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue // index/selector targets (m[k]=v, s.f=...) are keyed, not ordered
+		}
+		if _, isOuter := outer(id); !isOuter {
+			continue
+		}
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		// append(dst, ...key...) grows a slice rather than selecting a
+		// winner; the append rule owns that case (with its sort-awareness).
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				continue
+			}
+		}
+		if usesKey(rhs) {
+			assignsKeyToOuter = true
+		}
+	}
+	if !assignsKeyToOuter {
+		return
+	}
+	// Look for a direct comparison against the key in any guarding
+	// condition; `a < best` in the update guard is the tie-break that makes
+	// the selection a pure function of the map's contents.
+	for _, ifs := range ifStack {
+		tieBreak := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok && info.ObjectOf(id) == keyObj {
+						tieBreak = true
+					}
+				}
+			}
+			return !tieBreak
+		})
+		if tieBreak {
+			return
+		}
+	}
+	rep.reportNode(as, "selection of map key %q without a tie-break on the key: on ties the winner depends on map iteration order (the PR 4 DeepestCommonParent bug)", keyObj.Name())
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.ObjectOf(fun).(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// rootIdent returns the base identifier of expressions like x, x.f, x[i].
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObject resolves e to its object when e is a plain identifier.
+func identObject(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+		return info.ObjectOf(id)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"parsample/internal/analyzers"
+	"parsample/internal/analyzers/analyzertest"
+)
+
+// TestMapOrder covers the order-sensitive consumption classes (append,
+// send, write, hash feed, tie-blind selection — including the PR 4
+// DeepestCommonParent bug verbatim and its smallest-id fix), the sorted
+// and loop-local negatives, and both suppression spellings.
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, analyzers.MapOrder, "maporder/expr")
+}

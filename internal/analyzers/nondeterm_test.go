@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"parsample/internal/analyzers"
+	"parsample/internal/analyzers/analyzertest"
+)
+
+// TestNonDeterm covers wall-clock reads, the global rand source versus the
+// explicitly seeded generator, environment reads, racy multi-way selects
+// versus the cancellation-receive shape, and a reasoned suppression.
+func TestNonDeterm(t *testing.T) {
+	analyzertest.Run(t, analyzers.NonDeterm, "nondeterm/sampling")
+}

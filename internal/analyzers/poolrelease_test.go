@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"parsample/internal/analyzers"
+	"parsample/internal/analyzers/analyzertest"
+)
+
+// TestPoolRelease covers the release-before-join positive (direct and via
+// a same-package helper), the deferred release with and without a join,
+// the join-then-release negative, and a reasoned suppression.
+func TestPoolRelease(t *testing.T) {
+	analyzertest.Run(t, analyzers.PoolRelease, "poolrelease/arena")
+}

@@ -1,0 +1,105 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// A reporter is a suppression-aware Report front end for one analyzer. A
+// diagnostic is dropped when the flagged line, or the line directly above
+// it, carries a directive naming the analyzer:
+//
+//	//parsamplevet:ignore <name>[,<name>...] <reason>
+//	//lint:ignore parsamplevet/<name>[,...] <reason>
+//
+// The reason is mandatory: a directive without one is reported in place of
+// the suppression — an undocumented exception to an invariant is itself a
+// violation.
+type reporter struct {
+	pass *analysis.Pass
+	name string
+	// suppressed maps file name → set of line numbers covered by a
+	// directive naming this analyzer.
+	suppressed map[string]map[int]bool
+}
+
+// newReporter indexes the package's suppression directives for the named
+// analyzer and reports any directive that names it without a reason.
+func newReporter(pass *analysis.Pass, name string) *reporter {
+	r := &reporter{pass: pass, name: name, suppressed: map[string]map[int]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := parseIgnore(c.Text)
+				if !ok || !names[name] {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if reason == "" {
+					pass.Report(analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("suppression of parsamplevet/%s requires a reason (//parsamplevet:ignore %s <why>)", name, name),
+					})
+					continue
+				}
+				lines := r.suppressed[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					r.suppressed[pos.Filename] = lines
+				}
+				// A trailing directive covers its own line; a standalone
+				// directive covers the line below it. Covering both is
+				// harmless (a standalone directive's own line holds no code).
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return r
+}
+
+// reportf emits a diagnostic unless it is suppressed.
+func (r *reporter) reportf(pos token.Pos, format string, args ...any) {
+	p := r.pass.Fset.Position(pos)
+	if lines := r.suppressed[p.Filename]; lines != nil && lines[p.Line] {
+		return
+	}
+	r.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// reportNode reports at the node's start position.
+func (r *reporter) reportNode(n ast.Node, format string, args ...any) {
+	r.reportf(n.Pos(), format, args...)
+}
+
+// parseIgnore recognizes both directive spellings and returns the analyzer
+// names the directive covers plus the free-text reason.
+func parseIgnore(text string) (names map[string]bool, reason string, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(text, "//parsamplevet:ignore"):
+		rest = strings.TrimPrefix(text, "//parsamplevet:ignore")
+	case strings.HasPrefix(text, "//lint:ignore "):
+		// Only claim the staticcheck-style directive when it names a
+		// parsamplevet check; other tools' ignores are none of our business.
+		rest = strings.TrimPrefix(text, "//lint:ignore")
+		if !strings.Contains(rest, "parsamplevet/") {
+			return nil, "", false
+		}
+	default:
+		return nil, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", false
+	}
+	names = map[string]bool{}
+	for _, n := range strings.Split(fields[0], ",") {
+		names[strings.TrimPrefix(n, "parsamplevet/")] = true
+	}
+	return names, strings.TrimSpace(strings.Join(fields[1:], " ")), true
+}

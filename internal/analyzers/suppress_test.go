@@ -1,0 +1,42 @@
+package analyzers
+
+import "testing"
+
+// TestParseIgnore pins the directive grammar both spellings share.
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//parsamplevet:ignore maporder keys are pre-sorted", []string{"maporder"}, "keys are pre-sorted", true},
+		{"//parsamplevet:ignore maporder,nondeterm shared fixture", []string{"maporder", "nondeterm"}, "shared fixture", true},
+		{"//parsamplevet:ignore maporder", []string{"maporder"}, "", true},
+		{"//lint:ignore parsamplevet/ctxpoll legacy shape", []string{"ctxpoll"}, "legacy shape", true},
+		{"//lint:ignore SA4006 someone else's directive", nil, "", false},
+		{"// plain comment", nil, "", false},
+		{"//parsamplevet:ignore", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := parseIgnore(c.text)
+		if ok != c.ok {
+			t.Errorf("parseIgnore(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if reason != c.reason {
+			t.Errorf("parseIgnore(%q) reason = %q, want %q", c.text, reason, c.reason)
+		}
+		for _, n := range c.names {
+			if !names[n] {
+				t.Errorf("parseIgnore(%q) missing name %q", c.text, n)
+			}
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("parseIgnore(%q) names = %v, want %v", c.text, names, c.names)
+		}
+	}
+}

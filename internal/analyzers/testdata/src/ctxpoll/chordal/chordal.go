@@ -1,0 +1,109 @@
+// Package chordal is ctxpoll analyzer testdata: ...Context kernel entry
+// points with and without cancellation polls, and stored-context fields.
+package chordal
+
+import "context"
+
+// SweepContext loops without ever consulting ctx: a cancelled run sits
+// through the whole sweep.
+func SweepContext(ctx context.Context, xs []int) (int, error) { // want "SweepContext loops but never polls cancellation"
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n, nil
+}
+
+// PolledSweepContext checks ctx.Err inside the loop — the contract shape.
+func PolledSweepContext(ctx context.Context, xs []int) (int, error) {
+	n := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += x
+	}
+	return n, nil
+}
+
+// DelegatingSweepContext passes ctx onward each iteration: the callee owns
+// the poll, which satisfies the contract at this level.
+func DelegatingSweepContext(ctx context.Context, xs []int) (int, error) {
+	n := 0
+	for _, x := range xs {
+		v, err := stepContext(ctx, x)
+		if err != nil {
+			return 0, err
+		}
+		n += v
+	}
+	return n, nil
+}
+
+func stepContext(ctx context.Context, x int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return x * x, nil
+}
+
+// SelectPollContext polls through the Done channel instead of Err.
+func SelectPollContext(ctx context.Context, xs []int) (int, error) {
+	n := 0
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+		}
+		n += x
+	}
+	return n, nil
+}
+
+// sum is not a ...Context entry point; unpolled loops are fine here.
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// widthContext has the suffix but no leading context parameter, so it is
+// outside the naming contract.
+func widthContext(xs []int) int {
+	w := 0
+	for _, x := range xs {
+		if x > w {
+			w = x
+		}
+	}
+	return w
+}
+
+// holder stores a context outside the allowed carrier types: the context
+// outlives its call and detaches the held work from cancellation.
+type holder struct {
+	ctx context.Context // want "context.Context stored in struct field of holder"
+	n   int
+}
+
+// scanJob matches the Request|Job|Task allowlist: a job state machine that
+// owns the request lifetime may carry its context.
+type scanJob struct {
+	ctx context.Context
+	id  int
+}
+
+// legacyScanContext predates the poll contract; the suppression documents
+// why it is allowed to remain.
+//
+//parsamplevet:ignore ctxpoll pinned pre-contract shape kept as the suppression fixture
+func legacyScanContext(ctx context.Context, xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+// Package api is fingerprint analyzer testdata: request shapes mirroring
+// the real api package's cache-identity split between data identity and
+// run parameters.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// DatasetSpec is data identity: what is computed on.
+type DatasetSpec struct {
+	Path   string
+	SHA256 string
+}
+
+// FilterSpec is a run-parameter block (classified FilterSpec:* by the
+// analyzer's default -runparams).
+type FilterSpec struct {
+	Method string
+	Seed   int64
+}
+
+// Request mirrors the real request: data identity plus run parameters,
+// with the deadline classified field-by-field (Request:DeadlineMillis).
+type Request struct {
+	Dataset        DatasetSpec
+	Filter         FilterSpec
+	DeadlineMillis int64
+}
+
+// Fingerprint hashes the whole request, leaking both the filter block and
+// the deadline into cache identity.
+func (r Request) Fingerprint() string {
+	b, _ := json.Marshal(r) // want "Request.Filter" "Request.DeadlineMillis"
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ScrubRequest carries a run-param block but clears it before hashing.
+type ScrubRequest struct {
+	Dataset DatasetSpec
+	Filter  FilterSpec
+}
+
+// Fingerprint clears the run-param block first — the approved idiom for
+// hashing a mixed struct (the real package's `net.Correlation = nil`).
+func (r ScrubRequest) Fingerprint() string {
+	r.Filter = FilterSpec{}
+	b, _ := json.Marshal(r)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TaggedRequest excludes its run-param block from marshaling entirely.
+type TaggedRequest struct {
+	Dataset DatasetSpec
+	Filter  FilterSpec `json:"-"`
+}
+
+// Fingerprint never sees the json:"-" field, so nothing leaks.
+func (r TaggedRequest) Fingerprint() string {
+	b, _ := json.Marshal(r)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// WrappedRequest delegates its hashing to a same-package helper.
+type WrappedRequest struct {
+	Dataset DatasetSpec
+	Filter  FilterSpec
+}
+
+// Fingerprint delegates to digest; the helper is transitively a hash sink,
+// so the leak is caught at the delegation call.
+func (r WrappedRequest) Fingerprint() string {
+	return digest(r) // want "WrappedRequest.Filter"
+}
+
+// digest is the shared hashing helper.
+func digest(v any) string {
+	b, _ := json.Marshal(v)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// KeyedRequest feeds a single run-param field straight into the digest.
+type KeyedRequest struct {
+	Dataset DatasetSpec
+	Filter  FilterSpec
+}
+
+// Fingerprint hashes a run-param field through a selector chain.
+func (r KeyedRequest) Fingerprint() string {
+	sum := sha256.Sum256([]byte(r.Filter.Method)) // want "FilterSpec.Method"
+	return hex.EncodeToString(sum[:])
+}
+
+// LegacyRequest keeps the v0 fingerprint for migration compatibility.
+type LegacyRequest struct {
+	Filter FilterSpec
+}
+
+// Fingerprint intentionally includes the filter; the suppression documents
+// the compat contract.
+func (r LegacyRequest) Fingerprint() string {
+	//parsamplevet:ignore fingerprint v0 compat fixture: the legacy namespace intentionally splits on filter params
+	b, _ := json.Marshal(r)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

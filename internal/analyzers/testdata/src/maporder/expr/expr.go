@@ -1,0 +1,153 @@
+// Package expr is maporder analyzer testdata: order-sensitive and
+// order-insensitive consumption of map iteration.
+package expr
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// appendNoSort builds an output slice in map iteration order.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map builds an iteration-ordered slice"
+	}
+	return out
+}
+
+// appendThenSort is the approved shape: collect, then sort before anyone
+// reads the slice.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// localAppend appends to a slice scoped inside the loop body: no state
+// survives the iteration in map order.
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// accumulate folds values commutatively; the key is never consumed.
+func accumulate(m map[string]int) int {
+	n := 0
+	for k, v := range m {
+		_ = k
+		n += v
+	}
+	return n
+}
+
+// sliceAppend ranges a slice: order is already deterministic.
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// sendKeys streams keys in map iteration order.
+func sendKeys(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+// printKeys writes keys to stdout in map iteration order.
+func printKeys(m map[int]bool) {
+	for k := range m {
+		fmt.Println(k) // want "fmt.Println inside range over map writes in map iteration order"
+	}
+}
+
+// digestValues feeds the digest in map iteration order, and collects the
+// per-value sums in that order too.
+func digestValues(m map[string][]byte) [][32]byte {
+	var sums [][32]byte
+	for _, v := range m {
+		sums = append(sums, sha256.Sum256(v)) // want "append to sums" "hash feed"
+	}
+	return sums
+}
+
+// writeKeys serializes keys in map iteration order.
+func writeKeys(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want "Buffer.WriteString inside range over map writes in map iteration order"
+	}
+}
+
+// deepestTieBlind reproduces the PR 4 DeepestCommonParent bug verbatim:
+// equal-depth ties are broken by whichever key the map yields first.
+func deepestTieBlind(common map[int32]bool, depth map[int32]int) int32 {
+	best, bestDepth := int32(-1), -1
+	for a := range common {
+		if d := depth[a]; d > bestDepth {
+			best, bestDepth = a, d // want "selection of map key \"a\" without a tie-break"
+		}
+	}
+	return best
+}
+
+// deepestSmallestID is the fixed form: an equal-depth tie breaks on the
+// smallest id, making the selection a pure function of the map's contents.
+func deepestSmallestID(common map[int32]bool, depth map[int32]int) int32 {
+	best, bestDepth := int32(-1), -1
+	for a := range common {
+		d := depth[a]
+		if d > bestDepth || (d == bestDepth && a < best) {
+			best, bestDepth = a, d
+		}
+	}
+	return best
+}
+
+// suppressedAppend documents an order-insensitive accumulation with the
+// native directive.
+func suppressedAppend(m map[string]int) int {
+	var all []int
+	for _, v := range m {
+		//parsamplevet:ignore maporder all feeds only the order-insensitive sum below
+		all = append(all, v)
+	}
+	n := 0
+	for _, v := range all {
+		n += v
+	}
+	return n
+}
+
+// suppressedLintSpelling uses the staticcheck-style directive form.
+func suppressedLintSpelling(m map[string]int, ch chan string) {
+	for k := range m {
+		//lint:ignore parsamplevet/maporder the consumer drains into a set; delivery order is immaterial
+		ch <- k
+	}
+}
+
+// sink receives missingReason's keys in map iteration order.
+var sink []string
+
+// missingReason carries a directive without a reason: the directive is
+// itself a diagnostic, and it suppresses nothing.
+func missingReason(m map[string]int) {
+	for k := range m {
+		// want+1 "suppression of parsamplevet/maporder requires a reason"
+		//parsamplevet:ignore maporder
+		sink = append(sink, k) // want "append to sink inside range over map"
+	}
+}

@@ -1,0 +1,66 @@
+// Package sampling is nondeterm analyzer testdata: ambient nondeterminism
+// (clock, global rand, environment, racy selects) in kernel code.
+package sampling
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// stamp reads the wall clock inside a kernel.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in kernel code"
+}
+
+// elapsed derives a duration from the wall clock.
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "time.Since in kernel code"
+}
+
+// draw uses the global rand source: unseedable, process-global state.
+func draw(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn draws from the global rand source"
+}
+
+// seededDraw is the approved pattern: an explicitly seeded generator whose
+// constructor and method draws are both allowed.
+func seededDraw(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// configured reads the environment: kernel behavior must be a function of
+// explicit inputs.
+func configured() bool {
+	return os.Getenv("PARSAMPLE_MODE") != "" // want "os.Getenv in kernel code"
+}
+
+// merge resolves two ready channels by the runtime's coin flip.
+func merge(a, b chan int) int {
+	select { // want "select among 2 ready channels resolves nondeterministically"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// cancellableRecv is the approved select shape: the only extra case is the
+// cancellation receive, which decides when work stops, never what it
+// computes.
+func cancellableRecv(ctx context.Context, a chan int) (int, error) {
+	select {
+	case v := <-a:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// tracedKernel documents an approved wall-clock read.
+func tracedKernel() int64 {
+	//parsamplevet:ignore nondeterm trace-only timing fixture; never reaches an artifact
+	return time.Now().UnixNano()
+}

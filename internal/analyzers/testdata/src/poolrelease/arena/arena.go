@@ -1,0 +1,95 @@
+// Package arena is poolrelease analyzer testdata: pooled buffers released
+// before and after their workers are joined.
+package arena
+
+import "sync"
+
+// releaseEarly returns the buffer to the pool while workers may still
+// write it: the pool republishes it immediately.
+func releaseEarly(p *sync.Pool, n int) {
+	buf := p.Get().([]byte)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf[0] = 1
+		}()
+	}
+	p.Put(buf) // want "pool release reachable after spawning workers without an intervening Wait"
+	wg.Wait()
+}
+
+// releaseAfterJoin is the approved order: join, then release.
+func releaseAfterJoin(p *sync.Pool, n int) {
+	buf := p.Get().([]byte)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf[0] = 1
+		}()
+	}
+	wg.Wait()
+	p.Put(buf)
+}
+
+// deferNoJoin defers the release but never joins its workers: the deferred
+// Put runs at return with the workers still live.
+func deferNoJoin(p *sync.Pool) {
+	buf := p.Get().([]byte)
+	defer p.Put(buf) // want "deferred pool release in a function that spawns workers but never joins them"
+	go func() {
+		buf[0] = 1
+	}()
+}
+
+// deferWithJoin is the shipped shape: deferred release, workers joined
+// before return.
+func deferWithJoin(p *sync.Pool, n int) {
+	buf := p.Get().([]byte)
+	defer p.Put(buf)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf[0] = 1
+		}()
+	}
+	wg.Wait()
+}
+
+// release is a same-package helper; a Put through it is still tracked.
+func release(p *sync.Pool, b []byte) {
+	p.Put(b)
+}
+
+// helperEarly releases through the helper before the join.
+func helperEarly(p *sync.Pool) {
+	buf := p.Get().([]byte)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf[0] = 1
+	}()
+	release(p, buf) // want "pool release reachable after spawning workers without an intervening Wait"
+	wg.Wait()
+}
+
+// suppressedEarly documents a release the workers can never touch.
+func suppressedEarly(p *sync.Pool) {
+	buf := p.Get().([]byte)
+	scratch := p.Get().([]byte)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf[0] = 1
+	}()
+	//parsamplevet:ignore poolrelease scratch is never handed to the workers; only buf is
+	p.Put(scratch)
+	wg.Wait()
+}

@@ -98,6 +98,7 @@ func fillInSparse(g *graph.Graph, elim []int32) int {
 		nb = nb[:0]
 		for w := range row(v) {
 			if !eliminated[w] {
+				//parsamplevet:ignore maporder nb feeds only the pairwise fill count below, which is order-insensitive (every unordered pair is visited exactly once regardless of nb's order)
 				nb = append(nb, w)
 			}
 		}

@@ -44,6 +44,11 @@ func BatchCorrelatedPairsContext(ctx context.Context, m *Matrix, base NetworkOpt
 		return nil, err
 	}
 	for _, out := range outs {
+		// Per-spec poll: sorting k admitted-pair lists can dwarf the sweep
+		// for loose thresholds, so cancellation must land between specs too.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sortEdges(out)
 	}
 	return outs, nil
@@ -61,6 +66,11 @@ func BatchBuildNetworksContext(ctx context.Context, m *Matrix, base NetworkOptio
 	}
 	gs := make([]*graph.Graph, len(outs))
 	for i, scored := range outs {
+		// Per-spec poll: CSR construction is O(edges) per spec and runs
+		// after the sweep's own polling has ended.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b := graph.NewBuilder(m.Genes)
 		b.AddEdges(toEdges(scored))
 		gs[i] = b.Build()

@@ -113,8 +113,25 @@ func batchScoredContext(ctx context.Context, m *Matrix, base NetworkOptions, spe
 		return nil, err
 	}
 	if base.Precision == Float32 {
-		for i, v := range ar.z64 {
-			ar.z32[i] = float32(v)
+		// Chunked conversion with a poll every 256 rows: on the 32k-gene cap
+		// this loop touches 2²⁵ floats, long enough that a cancelled run
+		// must not have to sit through it (same cadence standardizeInto
+		// uses).
+		chunk := 256 * m.Samples
+		if chunk <= 0 {
+			chunk = len(ar.z64)
+		}
+		for off := 0; off < len(ar.z64); off += chunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			end := off + chunk
+			if end > len(ar.z64) {
+				end = len(ar.z64)
+			}
+			for i := off; i < end; i++ {
+				ar.z32[i] = float32(ar.z64[i])
+			}
 		}
 	}
 	e := &engine{

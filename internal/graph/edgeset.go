@@ -104,12 +104,21 @@ func (s EdgeSet) AddSet(t EdgeSet) {
 	}
 }
 
-// Edges returns the edges of the set in unspecified order.
+// Edges returns the edges of the set sorted by (U, V). The deterministic
+// order costs a sort but keeps every consumer of the set a pure function of
+// its contents — returning map order here leaked iteration order to callers
+// (caught by parsamplevet/maporder).
 func (s EdgeSet) Edges() []Edge {
 	out := make([]Edge, 0, len(s))
 	for k := range s {
 		out = append(out, KeyEdge(k))
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
 	return out
 }
 

@@ -136,7 +136,13 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 			targets = append(targets, int32(i), int32(j))
 		}
 	}
+	// picked keeps the attachment targets in draw order: the order they are
+	// appended to targets feeds every later rng.Intn index, so iterating the
+	// dedup map here would make the generated graph depend on map iteration
+	// order — same seed, different graph (caught by parsamplevet/maporder).
+	picked := make([]int32, 0, k)
 	for v := seed0; v < n; v++ {
+		picked = picked[:0]
 		chosen := make(map[int32]bool, k)
 		for len(chosen) < k {
 			var t int32
@@ -145,11 +151,12 @@ func PreferentialAttachment(n, k int, seed int64) *Graph {
 			} else {
 				t = targets[rng.Intn(len(targets))]
 			}
-			if t != int32(v) {
+			if t != int32(v) && !chosen[t] {
 				chosen[t] = true
+				picked = append(picked, t)
 			}
 		}
-		for t := range chosen {
+		for _, t := range picked {
 			b.AddEdge(int32(v), t)
 			targets = append(targets, int32(v), t)
 		}

@@ -282,10 +282,12 @@ func (e *Engine) slot(ctx context.Context) (release func(), err error) {
 // get is the typed request path: singleflight + cache via the store, with
 // per-request tracing.
 func get[T any](ctx context.Context, e *Engine, key Key, compute func(context.Context) (T, int64, error)) (T, error) {
+	//parsamplevet:ignore nondeterm stage timings feed only the per-request trace (observability); cached artifacts and fingerprints never see them
 	start := time.Now()
 	v, src, err := e.store.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
 		return compute(ctx)
 	})
+	//parsamplevet:ignore nondeterm trace-only duration, see above
 	traceRecord(ctx, key, src, time.Since(start), err)
 	if err != nil {
 		var zero T
