@@ -25,6 +25,13 @@
 //	                 internal error or an escaped panic; shedding uses
 //	                 413/429/503/504, never 500)
 //	-max-warm-slowdown R   burst-phase warm p99 ≤ R × baseline warm p99
+//	-require-disk-hit      at least one 200 must be served from the
+//	                 persistent disk tier (X-Parsample-Cache: disk) — the
+//	                 warm-restart smoke assertion
+//
+// Every 200 is attributed to its cache source from the X-Parsample-Cache
+// header — memory (hit), disk, or computed (miss) — and each phase reports
+// the breakdown.
 //
 // Quick start (two terminals):
 //
@@ -69,6 +76,7 @@ type config struct {
 	require429  bool
 	max500      int
 	maxSlowdown float64
+	reqDiskHit  bool
 	jsonOut     bool
 }
 
@@ -86,6 +94,7 @@ func run(args []string) error {
 		req429   = fs.Bool("require-429", false, "fail unless the burst phase observes a structured 429 with Retry-After")
 		max500   = fs.Int("max-500", -1, "fail when more than this many HTTP 500s are observed (-1: no assertion)")
 		maxSlow  = fs.Float64("max-warm-slowdown", 0, "fail when burst-phase warm p99 exceeds this multiple of the baseline warm p99 (0: no assertion)")
+		reqDisk  = fs.Bool("require-disk-hit", false, "fail unless at least one 200 is served from the persistent disk tier (X-Parsample-Cache: disk)")
 		jsonOut  = fs.Bool("json", false, "emit the summary as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +103,7 @@ func run(args []string) error {
 	cfg := config{
 		addr: strings.TrimRight(*addr, "/"), duration: *duration, concurrency: *conc,
 		genes: *genes, samples: *samples, seed: *seed, burstFactor: *burstF,
-		require429: *req429, max500: *max500, maxSlowdown: *maxSlow, jsonOut: *jsonOut,
+		require429: *req429, max500: *max500, maxSlowdown: *maxSlow, reqDiskHit: *reqDisk, jsonOut: *jsonOut,
 		phases: make(map[string]bool),
 	}
 	for _, p := range strings.Split(*phases, ",") {
@@ -148,7 +157,7 @@ func (g *generator) estimate() float64 {
 type shot struct {
 	status     int
 	code       string // api.Error code on non-2xx
-	cacheHit   bool
+	cache      string // raw X-Parsample-Cache header: hit, disk or miss
 	retryAfter bool
 	latency    time.Duration
 }
@@ -172,7 +181,7 @@ func (g *generator) fire(seed int64, client, priority string) shot {
 	resp.Body.Close()
 	s := shot{
 		status:     resp.StatusCode,
-		cacheHit:   resp.Header.Get("X-Parsample-Cache") == "hit",
+		cache:      resp.Header.Get("X-Parsample-Cache"),
 		retryAfter: resp.Header.Get("Retry-After") != "",
 		latency:    time.Since(start),
 	}
@@ -193,11 +202,15 @@ type phaseReport struct {
 	Statuses   map[string]int `json:"statuses"`
 	Rejections map[string]int `json:"rejections,omitempty"`
 	CacheHit   float64        `json:"cacheHitRate"`
-	P50MS      float64        `json:"p50Ms"`
-	P95MS      float64        `json:"p95Ms"`
-	P99MS      float64        `json:"p99Ms"`
-	Extra      map[string]any `json:"extra,omitempty"`
-	shots      []shot         `json:"-"`
+	// Cache attributes each 200 to how the daemon obtained its artifacts:
+	// memory (header "hit"), disk (persistent-tier load) or computed
+	// (header "miss" — at least one kernel ran).
+	Cache map[string]int `json:"cacheSources,omitempty"`
+	P50MS float64        `json:"p50Ms"`
+	P95MS float64        `json:"p95Ms"`
+	P99MS float64        `json:"p99Ms"`
+	Extra map[string]any `json:"extra,omitempty"`
+	shots []shot         `json:"-"`
 }
 
 type generator struct {
@@ -210,10 +223,11 @@ type generator struct {
 	burstWarmP99    float64
 	total500        int
 	burst429        int
+	totalDiskHits   int
 }
 
 func summarize(phase string, shots []shot, extra map[string]any) phaseReport {
-	r := phaseReport{Phase: phase, Requests: len(shots), Statuses: map[string]int{}, Rejections: map[string]int{}, Extra: extra, shots: shots}
+	r := phaseReport{Phase: phase, Requests: len(shots), Statuses: map[string]int{}, Rejections: map[string]int{}, Cache: map[string]int{}, Extra: extra, shots: shots}
 	var lats []float64
 	hits := 0
 	for _, s := range shots {
@@ -223,8 +237,14 @@ func summarize(phase string, shots []shot, extra map[string]any) phaseReport {
 		}
 		if s.status == http.StatusOK {
 			lats = append(lats, float64(s.latency.Microseconds())/1000)
-			if s.cacheHit {
+			switch s.cache {
+			case "hit":
 				hits++
+				r.Cache["memory"]++
+			case "disk":
+				r.Cache["disk"]++
+			default:
+				r.Cache["computed"]++
 			}
 		}
 	}
@@ -272,6 +292,9 @@ func (g *generator) runAll() error {
 		for _, s := range rep.shots {
 			if s.status == http.StatusInternalServerError {
 				g.total500++
+			}
+			if s.status == http.StatusOK && s.cache == "disk" {
+				g.totalDiskHits++
 			}
 		}
 		g.reports = append(g.reports, rep)
@@ -535,7 +558,8 @@ func (g *generator) print() {
 			BurstWarmP99    float64       `json:"burstWarmP99Ms"`
 			Burst429        int           `json:"burst429WithRetryAfter"`
 			Total500        int           `json:"total500"`
-		}{g.reports, g.baselineWarmP99, g.burstWarmP99, g.burst429, g.total500}
+			DiskHits        int           `json:"diskHits"`
+		}{g.reports, g.baselineWarmP99, g.burstWarmP99, g.burst429, g.total500, g.totalDiskHits}
 		b, _ := json.MarshalIndent(out, "", "  ")
 		fmt.Println(string(b))
 		return
@@ -550,6 +574,9 @@ func (g *generator) print() {
 		}
 		if r.Requests > 0 {
 			fmt.Printf("   cache-hit rate: %.2f  p50 %.1fms  p95 %.1fms  p99 %.1fms\n", r.CacheHit, r.P50MS, r.P95MS, r.P99MS)
+			if len(r.Cache) > 0 {
+				fmt.Printf("   cache sources: memory %d  disk %d  computed %d\n", r.Cache["memory"], r.Cache["disk"], r.Cache["computed"])
+			}
 		}
 		if len(r.Extra) > 0 {
 			b, _ := json.Marshal(r.Extra)
@@ -573,6 +600,9 @@ func (g *generator) assert() error {
 	if g.cfg.maxSlowdown > 0 && g.baselineWarmP99 > 0 && g.burstWarmP99 > g.cfg.maxSlowdown*g.baselineWarmP99 {
 		fails = append(fails, fmt.Sprintf("warm p99 under burst %.1fms exceeds %.1fx baseline %.1fms",
 			g.burstWarmP99, g.cfg.maxSlowdown, g.baselineWarmP99))
+	}
+	if g.cfg.reqDiskHit && g.totalDiskHits == 0 {
+		fails = append(fails, "no response was served from the persistent disk tier (X-Parsample-Cache: disk)")
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("assertions failed:\n  - %s", strings.Join(fails, "\n  - "))

@@ -1,0 +1,425 @@
+// Package diskstore is the persistent content-addressed blob tier beneath
+// the pipeline's in-memory artifact store (DESIGN.md §10). It stores opaque
+// snapshot blobs keyed by hex content hashes, with:
+//
+//   - Atomic publication: blobs are written to a unique temp file in the
+//     target directory and renamed into place, so a reader (this process or
+//     a sibling replica sharing the directory) either sees a complete blob
+//     or no blob — never a torn write. rename(2) over an existing name is
+//     itself atomic, so concurrent writers of one key are safe: last
+//     publisher wins, and both publish identical bytes by construction
+//     (content-addressed keys).
+//
+//   - Bounded asynchronous write-behind: PutAsync enqueues onto a fixed
+//     channel served by one background writer; a full queue drops the
+//     write (counted) rather than blocking the serving path. Close drains
+//     the queue, so a SIGTERM'd daemon flushes its warm artifacts.
+//
+//   - LRU-by-access pruning: every Get bumps the blob's timestamp, and when
+//     the directory exceeds its byte budget the writer deletes
+//     oldest-stamped blobs until back under. Deleting a blob another
+//     replica holds open (or mmap'd) is safe on the platforms we serve
+//     from: the inode lives until the last reference drops.
+//
+//   - mmap loads: blobs at or above mmapThreshold are mapped read-only
+//     instead of copied (Linux; other platforms read). Mappings are
+//     deliberately never unmapped — decoded artifacts alias them for the
+//     life of the process, and the pages are clean file-backed memory the
+//     kernel can reclaim under pressure.
+//
+// The store knows nothing about snapshot formats; integrity is the codec's
+// job (checksummed envelopes, see internal/snapshot). When a caller finds a
+// blob corrupt it calls Drop, turning the poisoned entry into a miss for
+// the whole fleet.
+package diskstore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsample/internal/faultinject"
+)
+
+// DefaultMaxBytes is the disk budget when a configuration leaves it unset.
+const DefaultMaxBytes int64 = 1 << 30
+
+// defaultQueueLen bounds pending write-behind snapshots. Each queued item
+// holds its artifact alive until encoded, so the bound also caps write-path
+// memory amplification.
+const defaultQueueLen = 128
+
+// mmapThreshold is the blob size at which Get maps instead of reads. Small
+// blobs (orders, cluster sets) are cheaper to copy than to map; big CSR
+// arenas win from zero-copy.
+const mmapThreshold = 128 << 10
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the cache directory (created if missing). It may be shared by
+	// any number of replicas.
+	Dir string
+	// MaxBytes is the pruning budget for the directory (≤ 0 →
+	// DefaultMaxBytes). Replicas sharing a directory each enforce their own
+	// budget against the shared usage.
+	MaxBytes int64
+	// QueueLen bounds pending write-behind blobs (≤ 0 → a 128 default).
+	QueueLen int
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Writes counts published blobs; WriteErrors counts write-behind
+	// failures (including injected ones); Dropped counts writes shed
+	// because the queue was full.
+	Writes, WriteErrors, Dropped int64
+	// Pending is the current write-behind queue depth.
+	Pending int
+	// BytesUsed is the directory usage as of the last full scan, adjusted
+	// by writes since.
+	BytesUsed int64
+	// MaxBytes is the configured pruning budget.
+	MaxBytes int64
+	// Prunes counts blobs deleted by the byte-budget pruner.
+	Prunes int64
+	// IntegrityDrops counts blobs removed via Drop (failed decode upstream).
+	IntegrityDrops int64
+}
+
+type writeReq struct {
+	name   string
+	encode func() ([]byte, error)
+	done   func(err error)
+}
+
+// Store is one handle on a cache directory. All methods are safe for
+// concurrent use; any number of Stores (across processes) may share a
+// directory.
+type Store struct {
+	dir   string
+	max   int64
+	queue chan writeReq
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex // guards closed and the usage estimate
+	closed bool
+	bytes  int64
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	writes         atomic.Int64
+	writeErrors    atomic.Int64
+	dropped        atomic.Int64
+	prunes         atomic.Int64
+	integrityDrops atomic.Int64
+}
+
+// Open creates (if needed) and scans the cache directory, then starts the
+// write-behind goroutine. The only hard failure is an unusable directory.
+func Open(cfg Config) (*Store, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	max := cfg.MaxBytes
+	if max <= 0 {
+		max = DefaultMaxBytes
+	}
+	qlen := cfg.QueueLen
+	if qlen <= 0 {
+		qlen = defaultQueueLen
+	}
+	s := &Store{
+		dir:   cfg.Dir,
+		max:   max,
+		queue: make(chan writeReq, qlen),
+	}
+	s.bytes = s.scanBytes()
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Close stops accepting writes, drains the pending queue to disk and stops
+// the writer goroutine. Safe to call once; Get keeps working afterwards.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// path shards blobs across 256 subdirectories by hash prefix so a big cache
+// never piles every entry into one directory.
+func (s *Store) path(name string) string {
+	shard := "xx"
+	if len(name) >= 2 {
+		shard = name[:2]
+	}
+	return filepath.Join(s.dir, shard, name+".snap")
+}
+
+// Get returns the blob stored under name. The returned bytes may alias a
+// read-only mmap — treat them as immutable and do not retain past the
+// artifact they decode into... which may be forever; that is fine (see the
+// package comment on mappings). A hit bumps the blob's timestamp, feeding
+// the LRU-by-access pruner.
+func (s *Store) Get(name string) ([]byte, bool) {
+	data, err := loadFile(s.path(name))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	// Access stamp for the pruner; racing with a concurrent rename or
+	// delete just loses the bump.
+	//parsamplevet:ignore nondeterm access stamps order pruning only; no artifact bytes derive from them
+	now := time.Now()
+	_ = os.Chtimes(s.path(name), now, now)
+	return data, true
+}
+
+// Contains reports whether a blob is published under name, without reading
+// it or bumping its access stamp.
+func (s *Store) Contains(name string) bool {
+	_, err := os.Stat(s.path(name))
+	return err == nil
+}
+
+// Put encodes and publishes a blob synchronously.
+func (s *Store) Put(name string, data []byte) error {
+	err := s.write(name, func() ([]byte, error) { return data, nil })
+	if err != nil {
+		s.writeErrors.Add(1)
+	} else {
+		s.writes.Add(1)
+	}
+	return err
+}
+
+// PutAsync enqueues a blob for the write-behind goroutine. encode runs on
+// that goroutine (keeping serialization cost off the serving path); done,
+// when non-nil, is called with the write outcome. Returns false — counting
+// a dropped write — when the queue is full or the store is closed.
+func (s *Store) PutAsync(name string, encode func() ([]byte, error), done func(err error)) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return false
+	}
+	// Enqueue under mu so close(queue) cannot race a send.
+	select {
+	case s.queue <- writeReq{name: name, encode: encode, done: done}:
+		s.mu.Unlock()
+		return true
+	default:
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	bytes := s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Writes:         s.writes.Load(),
+		WriteErrors:    s.writeErrors.Load(),
+		Dropped:        s.dropped.Load(),
+		Pending:        len(s.queue),
+		BytesUsed:      bytes,
+		MaxBytes:       s.max,
+		Prunes:         s.prunes.Load(),
+		IntegrityDrops: s.integrityDrops.Load(),
+	}
+}
+
+// Drop removes a published blob — the corrupt-snapshot path: the caller
+// failed to decode it, so deleting turns a poisoned entry into an ordinary
+// miss for every replica.
+func (s *Store) Drop(name string) {
+	p := s.path(name)
+	if fi, err := os.Stat(p); err == nil {
+		if os.Remove(p) == nil {
+			s.integrityDrops.Add(1)
+			s.addBytes(-fi.Size())
+		}
+	}
+}
+
+// writer is the write-behind goroutine: it publishes queued blobs, prunes
+// when over budget, and survives panicking encoders (a snapshot is an
+// optimization, never worth the process).
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		err := s.writeContained(req.name, req.encode)
+		if err != nil {
+			s.writeErrors.Add(1)
+		} else {
+			s.writes.Add(1)
+		}
+		if req.done != nil {
+			req.done(err)
+		}
+	}
+}
+
+// writeContained is write with panic containment.
+func (s *Store) writeContained(name string, encode func() ([]byte, error)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("diskstore: snapshot write panicked: %v", r)
+		}
+	}()
+	return s.write(name, encode)
+}
+
+// write encodes and atomically publishes one blob, then prunes if the
+// budget is exceeded. The `diskstore.write` failpoint fires after the first
+// half of the blob is on disk — an injected error there is exactly a
+// write-behind killed mid-snapshot, leaving an unpublished temp file that
+// no reader can ever observe (the crash-consistency argument in one line).
+func (s *Store) write(name string, encode func() ([]byte, error)) error {
+	data, err := encode()
+	if err != nil {
+		return err
+	}
+	p := s.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// On any failure below the temp file is removed; publication happens
+		// only through the rename.
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	half := len(data) / 2
+	if _, err := tmp.Write(data[:half]); err != nil {
+		return err
+	}
+	// Failpoint: die mid-snapshot (DESIGN.md §8 failpoint catalog).
+	if err := faultinject.Eval("diskstore.write"); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data[half:]); err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(tmpName)
+		return err
+	}
+	tmp = nil // publication path owns the file now
+	var replaced int64
+	if fi, err := os.Stat(p); err == nil {
+		replaced = fi.Size()
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	s.addBytes(int64(len(data)) - replaced)
+	s.maybePrune()
+	return nil
+}
+
+func (s *Store) addBytes(delta int64) {
+	s.mu.Lock()
+	s.bytes += delta
+	if s.bytes < 0 {
+		s.bytes = 0
+	}
+	s.mu.Unlock()
+}
+
+// maybePrune rescans the directory and deletes oldest-stamped blobs until
+// usage fits the budget. The rescan also resynchronizes the usage estimate
+// with writes made by sibling replicas sharing the directory.
+func (s *Store) maybePrune() {
+	s.mu.Lock()
+	over := s.bytes > s.max
+	s.mu.Unlock()
+	if !over {
+		return
+	}
+	type blob struct {
+		path  string
+		size  int64
+		stamp time.Time
+	}
+	var blobs []blob
+	var total int64
+	_ = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil // a racing delete by a sibling is not an error
+		}
+		if filepath.Ext(path) != ".snap" {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		blobs = append(blobs, blob{path: path, size: fi.Size(), stamp: fi.ModTime()})
+		total += fi.Size()
+		return nil
+	})
+	sort.Slice(blobs, func(i, j int) bool {
+		if !blobs[i].stamp.Equal(blobs[j].stamp) {
+			return blobs[i].stamp.Before(blobs[j].stamp)
+		}
+		return blobs[i].path < blobs[j].path
+	})
+	for _, b := range blobs {
+		if total <= s.max {
+			break
+		}
+		if os.Remove(b.path) == nil {
+			total -= b.size
+			s.prunes.Add(1)
+		}
+	}
+	s.mu.Lock()
+	s.bytes = total
+	s.mu.Unlock()
+}
+
+// scanBytes sums published blob sizes (Open-time baseline).
+func (s *Store) scanBytes() int64 {
+	var total int64
+	_ = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".snap" {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total
+}

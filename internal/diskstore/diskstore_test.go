@@ -1,0 +1,335 @@
+package diskstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parsample/internal/faultinject"
+)
+
+// TestMain asserts the package leaks no goroutines: every Store opened by a
+// test must be Closed, unwinding its write-behind writer.
+func TestMain(m *testing.M) {
+	base := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			fmt.Fprintf(os.Stderr, "diskstore: %d goroutines leaked (baseline %d):\n%s\n", n-base, base, buf)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func open(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPutGetContainsDrop(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	blob := []byte("0123456789abcdef")
+	name := strings.Repeat("ab", 32)
+	if s.Contains(name) {
+		t.Fatal("empty store contains blob")
+	}
+	if _, ok := s.Get(name); ok {
+		t.Fatal("empty store served blob")
+	}
+	if err := s.Put(name, blob); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(name) {
+		t.Fatal("published blob not visible")
+	}
+	got, ok := s.Get(name)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("Get = (%q, %v), want the published blob", got, ok)
+	}
+	s.Drop(name)
+	if s.Contains(name) {
+		t.Fatal("dropped blob still visible")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.IntegrityDrops != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutAsyncFlushedByClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte{0xAA}, 64)
+	name := strings.Repeat("cd", 32)
+	var doneErr error
+	var doneCalled bool
+	if !s.PutAsync(name, func() ([]byte, error) { return blob, nil }, func(err error) {
+		doneCalled = true
+		doneErr = err
+	}) {
+		t.Fatal("enqueue refused on an idle queue")
+	}
+	s.Close() // drains the queue
+	if !doneCalled || doneErr != nil {
+		t.Fatalf("done = (%v, %v), want (true, nil)", doneCalled, doneErr)
+	}
+	if !s.Contains(name) {
+		t.Fatal("Close did not flush the pending write")
+	}
+	// A Store that never wrote this blob sees it on Open (warm restart).
+	s2 := open(t, dir, 0)
+	got, ok := s2.Get(name)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatal("fresh store handle missed the published blob")
+	}
+	if used := s2.Stats().BytesUsed; used != int64(len(blob)) {
+		t.Fatalf("open-time scan found %d bytes, want %d", used, len(blob))
+	}
+	// PutAsync after Close is a counted shed, not a hang or a panic.
+	if s.PutAsync(name, func() ([]byte, error) { return blob, nil }, nil) {
+		t.Fatal("enqueue accepted after Close")
+	}
+	if s.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Stats().Dropped)
+	}
+}
+
+func TestPutAsyncShedsWhenFull(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), QueueLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Block the writer on its first item so the queue backs up.
+	release := make(chan struct{})
+	s.PutAsync("aa", func() ([]byte, error) { <-release; return []byte("x"), nil }, nil)
+	s.PutAsync("bb", func() ([]byte, error) { return []byte("y"), nil }, nil) // fills the queue (writer may or may not have picked up aa yet)
+	// With the writer blocked and the buffer full, further enqueues shed.
+	deadline := time.Now().Add(time.Second)
+	shed := false
+	for time.Now().Before(deadline) {
+		if !s.PutAsync("cc", func() ([]byte, error) { return []byte("z"), nil }, nil) {
+			shed = true
+			break
+		}
+	}
+	close(release)
+	if !shed {
+		t.Fatal("full queue never shed a write")
+	}
+	if s.Stats().Dropped == 0 {
+		t.Fatal("shed write not counted")
+	}
+}
+
+func TestEncodeErrorAndPanicContained(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	boom := errors.New("encode failed")
+	done := make(chan error, 1)
+	s.PutAsync("ee", func() ([]byte, error) { return nil, boom }, func(err error) { done <- err })
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("done err = %v, want the encode error", err)
+	}
+	s.PutAsync("ff", func() ([]byte, error) { panic("encoder bug") }, func(err error) { done <- err })
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("done err = %v, want a contained panic", err)
+	}
+	if s.Contains("ee") || s.Contains("ff") {
+		t.Fatal("failed writes published a blob")
+	}
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Fatalf("write errors = %d, want 2", st.WriteErrors)
+	}
+}
+
+// The crash-consistency test: the diskstore.write failpoint kills the write
+// after half the blob is on disk. Nothing may be published — a torn snapshot
+// must be unobservable, exactly as if the process died mid-write — and no
+// temp litter may leak into the published namespace.
+func TestWriteFailpointMidSnapshotPublishesNothing(t *testing.T) {
+	faultinject.Enable("diskstore.write", faultinject.Spec{Mode: faultinject.ModeError})
+	defer faultinject.Disable("diskstore.write")
+
+	s := open(t, t.TempDir(), 0)
+	name := strings.Repeat("77", 32)
+	err := s.Put(name, bytes.Repeat([]byte{0x55}, 4096))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if s.Contains(name) {
+		t.Fatal("a write killed mid-snapshot was published")
+	}
+	// The half-written temp file is cleaned up on the error path; after a
+	// real SIGKILL it would linger but never match the *.snap suffix readers
+	// and the pruner look for.
+	ents, err := os.ReadDir(filepath.Join(s.dir, name[:2]))
+	if err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".snap") {
+				t.Fatalf("published blob %s exists after mid-snapshot kill", e.Name())
+			}
+			if strings.HasPrefix(e.Name(), "tmp-") {
+				t.Fatalf("temp file %s leaked after a contained write failure", e.Name())
+			}
+		}
+	}
+	faultinject.Disable("diskstore.write")
+	// The failure is transient, not poisoning: the same Put now succeeds.
+	if err := s.Put(name, bytes.Repeat([]byte{0x55}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(name) {
+		t.Fatal("store poisoned by a previous injected failure")
+	}
+}
+
+// Acceptance criterion: two Stores (standing in for two replica processes)
+// share one directory, hammer overlapping content-addressed names
+// concurrently, and every read observes either absence or a complete,
+// correct blob — never torn bytes. Run under -race in CI.
+func TestConcurrentWritersSharedDirNoTornReads(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, 0)
+	b := open(t, dir, 0)
+
+	const keys = 8
+	blobFor := func(k int) []byte {
+		// Content-addressing means both writers of a key produce identical
+		// bytes; make each key's blob distinctive and large enough to span
+		// several write(2) calls internally.
+		return bytes.Repeat([]byte{byte('A' + k)}, 8192+k)
+	}
+	nameFor := func(k int) string { return fmt.Sprintf("%02x", k) + strings.Repeat("00", 31) }
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 64)
+	for _, s := range []*Store{a, b} {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(s *Store, seed int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := (i + seed) % keys
+					if err := s.Put(nameFor(k), blobFor(k)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(s, w*3)
+		}
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % keys
+				if data, ok := s.Get(nameFor(k)); ok {
+					if !bytes.Equal(data, blobFor(k)) {
+						errc <- fmt.Errorf("torn read for key %d: %d bytes", k, len(data))
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestPruneEvictsOldestStamped(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits two 1 KiB blobs, not three.
+	s := open(t, dir, 2048)
+	blob := bytes.Repeat([]byte{1}, 1024)
+	names := []string{
+		strings.Repeat("aa", 32),
+		strings.Repeat("bb", 32),
+		strings.Repeat("cc", 32),
+	}
+	if err := s.Put(names[0], blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(names[1], blob); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate blob 1 and freshen blob 0 so the victim is unambiguous even
+	// on filesystems with coarse timestamps.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s.path(names[1]), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(names[0]); !ok { // bumps the access stamp
+		t.Fatal("blob 0 missing")
+	}
+	if err := s.Put(names[2], blob); err != nil { // 3 KiB > 2 KiB: prune
+		t.Fatal(err)
+	}
+	if s.Contains(names[1]) {
+		t.Fatal("pruner kept the least-recently-accessed blob")
+	}
+	if !s.Contains(names[0]) || !s.Contains(names[2]) {
+		t.Fatal("pruner evicted a recently used blob")
+	}
+	st := s.Stats()
+	if st.Prunes != 1 {
+		t.Fatalf("prunes = %d, want 1", st.Prunes)
+	}
+	if st.BytesUsed > 2048 {
+		t.Fatalf("bytes used = %d, want ≤ budget after prune", st.BytesUsed)
+	}
+}
+
+// Blobs above the mmap threshold round-trip identically through the mapped
+// load path (on Linux; the portable path elsewhere).
+func TestLargeBlobRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	blob := make([]byte, mmapThreshold+4096)
+	for i := range blob {
+		blob[i] = byte(i * 2654435761)
+	}
+	name := strings.Repeat("dd", 32)
+	if err := s.Put(name, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(name)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("large blob round trip failed: ok=%v len=%d", ok, len(got))
+	}
+}

@@ -1,0 +1,37 @@
+//go:build linux
+
+package diskstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// loadFile returns a blob's bytes: small blobs are read (a copy is cheaper
+// than a mapping), large ones are mapped read-only and shared. The mapping
+// is intentionally never unmapped — decoded artifacts alias it (zero-copy
+// CSR arenas), and since we never write through it the pages stay clean
+// file-backed memory the kernel reclaims at will. Unlinking a mapped blob
+// (pruning, Drop, a sibling replica's rename-over) is safe: the inode
+// outlives its directory entry for as long as the mapping exists.
+func loadFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 || size < mmapThreshold {
+		return os.ReadFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		// Fall back to a plain read (e.g. a filesystem without mmap).
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

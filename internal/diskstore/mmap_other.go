@@ -1,0 +1,11 @@
+//go:build !linux
+
+package diskstore
+
+import "os"
+
+// loadFile reads a blob. The portable path copies; the Linux build maps
+// large blobs read-only instead (see mmap_linux.go).
+func loadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

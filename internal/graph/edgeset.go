@@ -228,6 +228,31 @@ func (s *DenseEdgeSet) Graph(n int) *Graph {
 	return b.Build()
 }
 
+// GraphEdges presents a materialized graph's edge set as an EdgeView:
+// Has is the CSR edge probe, ForEach walks edges in sorted (u, v) order,
+// and Graph returns the backing graph itself when the universe matches.
+// Snapshot decoding uses it to rebuild a sampling result's edge view from
+// the persisted subgraph without materializing a separate edge list.
+type GraphEdges struct{ G *Graph }
+
+// Has reports whether {u, v} is an edge of the backing graph.
+func (ge GraphEdges) Has(u, v int32) bool { return ge.G.HasEdge(u, v) }
+
+// Len returns the backing graph's edge count.
+func (ge GraphEdges) Len() int { return ge.G.M() }
+
+// ForEach calls fn once per edge with u < v, in sorted (u, v) order.
+func (ge GraphEdges) ForEach(fn func(u, v int32)) { ge.G.ForEachEdge(fn) }
+
+// Graph returns the backing graph when n matches its universe, and a
+// rebuilt copy over n vertices otherwise.
+func (ge GraphEdges) Graph(n int) *Graph {
+	if n == ge.G.N() {
+		return ge.G
+	}
+	return FromEdges(n, ge.G.Edges())
+}
+
 // EdgeList is an append-only list of normalized undirected edges — the
 // natural output of kernels like DSW that emit every edge exactly once and
 // therefore need no dedup set. It implements the read-only half of

@@ -301,6 +301,52 @@ func FromEdges(n int, edges []Edge) *Graph {
 	return b.Build()
 }
 
+// FromCSRArenas adopts pre-built CSR arenas as a graph without staging or
+// sorting: off and nbr must be exactly the layout CSR() exposes (off[0] = 0,
+// rows strictly ascending, both edge directions present). The slices are
+// adopted, not copied — the caller must not modify them afterwards. This is
+// the snapshot-decode path: a persisted graph's arenas are validated and
+// aliased in place (possibly straight out of an mmap'd file) instead of
+// paying a Builder pass.
+//
+// Validation is structural and O(n+m): offsets monotone and in range, every
+// row strictly ascending with in-range, non-self endpoints, arena length
+// even. It deliberately does not verify that the adjacency is symmetric —
+// callers feed checksum-verified snapshots, so the check guards against
+// codec bugs and truncation, not adversarial input.
+func FromCSRArenas(off, nbr []int32) (*Graph, error) {
+	if len(off) == 0 {
+		if len(nbr) != 0 {
+			return nil, fmt.Errorf("graph: CSR arenas with %d neighbors but no offsets", len(nbr))
+		}
+		return &Graph{}, nil
+	}
+	n := len(off) - 1
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offsets start at %d, want 0", off[0])
+	}
+	if int(off[n]) != len(nbr) {
+		return nil, fmt.Errorf("graph: CSR offsets end at %d but arena has %d entries", off[n], len(nbr))
+	}
+	if len(nbr)%2 != 0 {
+		return nil, fmt.Errorf("graph: CSR arena length %d is odd (both edge directions must be present)", len(nbr))
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: CSR offsets decrease at vertex %d", v)
+		}
+		row := nbr[off[v]:off[v+1]]
+		prev := int32(-1)
+		for _, w := range row {
+			if w <= prev || int(w) >= n || w == int32(v) {
+				return nil, fmt.Errorf("graph: CSR row %d is not a strictly ascending neighbor list", v)
+			}
+			prev = w
+		}
+	}
+	return &Graph{off: off, nbr: nbr, m: len(nbr) / 2}, nil
+}
+
 // Subgraph returns the subgraph induced by keep (original vertex ids are
 // preserved; edges with an endpoint outside keep are dropped). keep must not
 // contain duplicates.

@@ -26,6 +26,7 @@ import (
 
 	"parsample/internal/analysis"
 	"parsample/internal/datasets"
+	"parsample/internal/diskstore"
 	"parsample/internal/expr"
 	"parsample/internal/graph"
 	"parsample/internal/mcode"
@@ -214,6 +215,16 @@ type Config struct {
 	// disables coalescing; results are identical either way, the window
 	// only trades a little first-build latency for shared kernel work.
 	BatchWindow time.Duration
+	// CacheDir, when set, enables the persistent artifact tier: computed
+	// artifacts are written behind to content-addressed snapshot blobs
+	// under this directory, and store misses probe it before computing
+	// (memory → disk → compute). The directory may be shared by any number
+	// of replicas — publication is atomic-rename, so concurrent writers
+	// are safe (DESIGN.md §10). Empty disables the tier.
+	CacheDir string
+	// DiskBytes is the cache directory's pruning budget (≤ 0 → 1 GiB).
+	// Only meaningful with CacheDir.
+	DiskBytes int64
 }
 
 // Engine executes stage-graph requests over a shared artifact store.
@@ -224,17 +235,44 @@ type Engine struct {
 	sweeps *sweepBatcher
 }
 
-// New creates an engine.
+// New creates an engine. A Config.CacheDir that cannot be created or
+// scanned panics — callers that want an error instead (the daemon's flag
+// path) validate the directory first or use NewWithDisk.
 func New(cfg Config) *Engine {
+	e, err := NewWithDisk(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: cache dir %q: %v", cfg.CacheDir, err))
+	}
+	return e
+}
+
+// NewWithDisk is New with the persistent tier's only failure mode — an
+// unusable cache directory — surfaced as an error.
+func NewWithDisk(cfg Config) (*Engine, error) {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		store:  NewStore(cfg.MaxBytes),
 		sem:    make(chan struct{}, w),
 		sweeps: newSweepBatcher(cfg.BatchWindow),
 	}
+	if cfg.CacheDir != "" {
+		d, err := diskstore.Open(diskstore.Config{Dir: cfg.CacheDir, MaxBytes: cfg.DiskBytes})
+		if err != nil {
+			return nil, err
+		}
+		e.store.AttachDisk(d)
+	}
+	return e, nil
+}
+
+// Close flushes the persistent tier's pending write-behind snapshots and
+// stops its goroutine (a no-op without CacheDir). Call it on daemon
+// shutdown so artifacts computed just before a restart are warm after it.
+func (e *Engine) Close() {
+	e.store.Close()
 }
 
 // Stats returns the artifact store counters plus the sweep batcher's.
@@ -256,15 +294,18 @@ func (e *Engine) SetBatchWindow(d time.Duration) { e.sweeps.SetWindow(d) }
 
 // NetworkResident reports whether the input's network-stage artifact would
 // be served without computing: adopted input graphs always are, and
-// matrix-backed networks are when resident in the store. This is the
-// admission layer's cold/warm probe — a resident network makes a request
-// cheap regardless of its declared dimensions — and deliberately does not
-// touch LRU order.
+// matrix-backed networks are when resident in the store or published in
+// the persistent tier (a disk load is a read, not a sweep — warm-restart
+// requests admit at warm cost). This is the admission layer's cold/warm
+// probe — a resident network makes a request cheap regardless of its
+// declared dimensions — and deliberately does not touch LRU order or the
+// disk access stamps.
 func (e *Engine) NetworkResident(in Input) bool {
 	if in.G != nil {
 		return true
 	}
-	return e.store.Contains(in.key(StageNetwork, Original))
+	key := in.key(StageNetwork, Original)
+	return e.store.Contains(key) || e.store.ContainsOnDisk(key)
 }
 
 // slot acquires a bounded-concurrency worker slot, or fails once ctx is

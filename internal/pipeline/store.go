@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"parsample/internal/diskstore"
 	"parsample/internal/faultinject"
 )
 
@@ -21,6 +23,9 @@ const (
 	Hit
 	// Shared: another in-flight computation of the same key was joined.
 	Shared
+	// Disk: the artifact was loaded and integrity-verified from the
+	// persistent disk tier instead of recomputed.
+	Disk
 )
 
 // String returns the lowercase name used in traces and stats.
@@ -32,46 +37,80 @@ func (s Source) String() string {
 		return "hit"
 	case Shared:
 		return "shared"
+	case Disk:
+		return "disk"
 	}
 	return "unknown"
 }
 
-// StoreStats is a snapshot of the store's counters.
+// StoreStats is a snapshot of the store's counters. The JSON names are the
+// wire form served by /statsz.
 type StoreStats struct {
 	// Hits counts requests served from a resident entry.
-	Hits int64
-	// Misses counts requests that ran the compute function.
-	Misses int64
+	Hits int64 `json:"hits"`
+	// Misses counts requests that ran the compute function — a kernel
+	// actually executed. A disk-tier load is not a miss.
+	Misses int64 `json:"misses"`
 	// Shared counts requests that joined another caller's in-flight
 	// computation instead of computing a second time.
-	Shared int64
+	Shared int64 `json:"shared"`
 	// Evictions counts entries dropped by the LRU byte budget.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
+	// Oversized counts artifacts larger than the whole byte budget: served
+	// (and spilled to the disk tier) but never retained in memory.
+	Oversized int64 `json:"oversized"`
 	// Entries is the current resident entry count.
-	Entries int
+	Entries int `json:"entries"`
 	// BytesUsed is the current resident byte estimate.
-	BytesUsed int64
+	BytesUsed int64 `json:"bytes_used"`
 	// BytesBudget is the configured byte budget.
-	BytesBudget int64
+	BytesBudget int64 `json:"bytes_budget"`
 	// Inflight is the number of computations currently running.
-	Inflight int
+	Inflight int `json:"inflight"`
 	// SweepBatches counts correlation-sweep kernel invocations through the
 	// engine's batcher; SweepRequests counts the network builds those
 	// invocations served. Requests/Batches > 1 means cross-request
 	// coalescing is paying off. Populated by Engine.Stats, not the Store.
-	SweepBatches  int64
-	SweepRequests int64
+	SweepBatches  int64 `json:"sweep_batches"`
+	SweepRequests int64 `json:"sweep_requests"`
+	// DiskHits counts artifacts loaded and integrity-verified from the
+	// disk tier; DiskMisses counts disk probes that found no usable
+	// snapshot (absent, truncated, corrupt or version-skewed — all
+	// ordinary misses). Zero when no disk tier is configured.
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	// WriteBehindPending is the current depth of the disk tier's
+	// write-behind queue; WriteBehindErrors counts failed or shed
+	// write-behind snapshots (a full queue sheds rather than blocking the
+	// serving path).
+	WriteBehindPending int   `json:"write_behind_pending"`
+	WriteBehindErrors  int64 `json:"write_behind_errors"`
+	// DiskWrites counts snapshots published to the cache directory;
+	// DiskPrunes counts blobs deleted by the byte-budget pruner;
+	// DiskIntegrityDrops counts corrupt blobs deleted after a failed load.
+	DiskWrites         int64 `json:"disk_writes"`
+	DiskPrunes         int64 `json:"disk_prunes"`
+	DiskIntegrityDrops int64 `json:"disk_integrity_drops"`
+	// DiskBytesUsed/DiskBytesBudget mirror the cache directory usage and
+	// its pruning budget.
+	DiskBytesUsed   int64 `json:"disk_bytes_used"`
+	DiskBytesBudget int64 `json:"disk_bytes_budget"`
 }
 
 // Store is the keyed artifact store behind the Engine: a memoization map
 // with singleflight deduplication (concurrent requests for one key compute
-// once), LRU eviction under a byte budget, and hit/miss/inflight counters.
+// once), LRU eviction under a byte budget, hit/miss/inflight counters, and
+// an optional persistent second tier (AttachDisk). Lookup order is
+// memory → disk → compute: a disk load is checksum-verified and promoted
+// into the memory LRU; a computed artifact is written behind to disk.
 //
 // Failure discipline: only successful computations are inserted. A compute
 // that returns an error — in particular a context cancellation — leaves no
 // entry behind (no "poisoned" artifacts), and waiters that joined a
 // cancelled computation retry with their own context instead of inheriting
-// the owner's cancellation.
+// the owner's cancellation. The disk tier inherits the discipline: a blob
+// that fails its checksum or decode is deleted and recomputed, never
+// served.
 type Store struct {
 	mu        sync.Mutex
 	maxBytes  int64
@@ -83,12 +122,22 @@ type Store struct {
 	misses    int64
 	shared    int64
 	evictions int64
+	oversized int64
+
+	disk       *diskstore.Store // nil: memory-only
+	diskHits   atomic.Int64
+	diskMisses atomic.Int64
 }
 
 type entry struct {
 	key   Key
 	val   any
 	bytes int64
+	// persisted flips true once a snapshot of this artifact is published on
+	// disk; eviction re-enqueues a write only while it is false. Written by
+	// the write-behind goroutine, read under the store mutex — hence
+	// atomic.
+	persisted *atomic.Bool
 }
 
 type flight struct {
@@ -111,6 +160,17 @@ func NewStore(maxBytes int64) *Store {
 	}
 }
 
+// AttachDisk wires a persistent tier beneath the memory LRU. Call before
+// serving (not concurrency-safe with Do).
+func (s *Store) AttachDisk(d *diskstore.Store) { s.disk = d }
+
+// Close flushes and stops the disk tier's write-behind goroutine, if any.
+func (s *Store) Close() {
+	if s.disk != nil {
+		s.disk.Close()
+	}
+}
+
 // DefaultStoreBytes is the artifact budget used when a configuration leaves
 // it unset: enough for every artifact of the paper's four-network evaluation
 // with room to spare, small enough to bound a long-running server.
@@ -119,24 +179,38 @@ const DefaultStoreBytes int64 = 256 << 20
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StoreStats{
+	st := StoreStats{
 		Hits:        s.hits,
 		Misses:      s.misses,
 		Shared:      s.shared,
 		Evictions:   s.evictions,
+		Oversized:   s.oversized,
 		Entries:     s.lru.Len(),
 		BytesUsed:   s.used,
 		BytesBudget: s.maxBytes,
 		Inflight:    len(s.inflight),
 	}
+	s.mu.Unlock()
+	st.DiskHits = s.diskHits.Load()
+	st.DiskMisses = s.diskMisses.Load()
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.WriteBehindPending = ds.Pending
+		st.WriteBehindErrors = ds.WriteErrors + ds.Dropped
+		st.DiskWrites = ds.Writes
+		st.DiskPrunes = ds.Prunes
+		st.DiskIntegrityDrops = ds.IntegrityDrops
+		st.DiskBytesUsed = ds.BytesUsed
+		st.DiskBytesBudget = ds.MaxBytes
+	}
+	return st
 }
 
 // Do returns the artifact for key, computing it at most once across
 // concurrent callers. compute returns the value plus its resident byte
 // estimate; it runs without store locks held. The returned Source reports
-// whether this call hit the cache, joined an in-flight computation, or
-// computed.
+// whether this call hit the memory tier, loaded from the disk tier, joined
+// an in-flight computation, or computed.
 func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (any, int64, error)) (any, Source, error) {
 	// Failpoint: every store request (DESIGN.md §8 failpoint catalog).
 	if err := faultinject.Eval("pipeline.store.get"); err != nil {
@@ -173,34 +247,70 @@ func (s *Store) Do(ctx context.Context, key Key, compute func(context.Context) (
 			}
 			continue
 		}
+		// This call owns the flight. The flight is registered before the
+		// disk probe, so concurrent callers join a disk load exactly like a
+		// compute instead of hammering the file in parallel.
 		f := &flight{done: make(chan struct{})}
 		s.inflight[key] = f
-		s.misses++
 		s.mu.Unlock()
 
-		val, bytes, err := runCompute(ctx, compute)
-		if err == nil {
-			// Failpoint: a put that fails after a successful compute. The
-			// failure discipline holds — nothing is inserted, every waiter
-			// of this flight receives the error, and the next attempt
-			// recomputes from scratch.
-			if ferr := faultinject.Eval("pipeline.store.put"); ferr != nil {
-				val, err = nil, ferr
+		src := Disk
+		val, bytes, loaded := s.diskLoad(key)
+		var err error
+		if !loaded {
+			src = Computed
+			s.mu.Lock()
+			s.misses++
+			s.mu.Unlock()
+			val, bytes, err = runCompute(ctx, compute)
+			if err == nil {
+				// Failpoint: a put that fails after a successful compute. The
+				// failure discipline holds — nothing is inserted, every waiter
+				// of this flight receives the error, and the next attempt
+				// recomputes from scratch.
+				if ferr := faultinject.Eval("pipeline.store.put"); ferr != nil {
+					val, err = nil, ferr
+				}
 			}
 		}
 		f.val, f.err = val, err
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if err == nil {
-			s.insert(key, val, bytes)
+			s.insert(key, val, bytes, src == Disk)
 		}
 		s.mu.Unlock()
 		close(f.done)
 		if err != nil {
-			return nil, Computed, err
+			return nil, src, err
 		}
-		return val, Computed, nil
+		return val, src, nil
 	}
+}
+
+// diskLoad probes the persistent tier: read (or mmap) the blob, verify its
+// checksum, decode. Every failure mode — no disk tier, absent blob,
+// truncation, corruption, version skew — returns nil, and a corrupt blob is
+// deleted so the whole fleet sees an ordinary miss where a poisoned entry
+// sat.
+func (s *Store) diskLoad(key Key) (any, int64, bool) {
+	if s.disk == nil {
+		return nil, 0, false
+	}
+	name := diskName(key)
+	data, ok := s.disk.Get(name)
+	if !ok {
+		s.diskMisses.Add(1)
+		return nil, 0, false
+	}
+	val, bytes, err := decodeArtifact(key, data)
+	if err != nil {
+		s.disk.Drop(name)
+		s.diskMisses.Add(1)
+		return nil, 0, false
+	}
+	s.diskHits.Add(1)
+	return val, bytes, true
 }
 
 // runCompute invokes compute with panic containment: a panicking kernel is
@@ -219,14 +329,34 @@ func runCompute(ctx context.Context, compute func(context.Context) (any, int64, 
 	return compute(ctx)
 }
 
-// insert adds a resident entry and evicts from the LRU tail until the byte
-// estimate fits the budget. The just-inserted entry is never evicted, so an
-// artifact larger than the whole budget is still served (and evicted by the
-// next insert). Caller holds mu.
-func (s *Store) insert(key Key, val any, bytes int64) {
+// insert adds a resident entry, schedules write-behind for unpersisted
+// artifacts, and evicts from the LRU tail until the byte estimate fits the
+// budget. The just-inserted entry is never evicted.
+//
+// Oversized policy: an artifact whose estimate exceeds the WHOLE budget is
+// served to its caller but never retained — holding it would evict the
+// entire working set for one request. It still spills to the disk tier, so
+// a repeat costs a disk read rather than a recompute. Caller holds mu.
+func (s *Store) insert(key Key, val any, bytes int64, persisted bool) {
 	if bytes < 0 {
 		bytes = 0
 	}
+	if bytes > s.maxBytes {
+		s.oversized++
+		if el, ok := s.entries[key]; ok {
+			// A resident (smaller) value being replaced by an oversized one:
+			// drop it rather than keep serving the stale entry.
+			e := el.Value.(*entry)
+			s.lru.Remove(el)
+			delete(s.entries, e.key)
+			s.used -= e.bytes
+		}
+		if !persisted {
+			s.enqueueWrite(key, val, nil)
+		}
+		return
+	}
+	var pflag *atomic.Bool
 	if el, ok := s.entries[key]; ok {
 		// Possible when a key was evicted and recomputed by two waiters of a
 		// cancelled owner; keep the newer value.
@@ -234,9 +364,16 @@ func (s *Store) insert(key Key, val any, bytes int64) {
 		s.used += bytes - e.bytes
 		e.val, e.bytes = val, bytes
 		s.lru.MoveToFront(el)
+		pflag = e.persisted
 	} else {
-		s.entries[key] = s.lru.PushFront(&entry{key: key, val: val, bytes: bytes})
+		pflag = &atomic.Bool{}
+		s.entries[key] = s.lru.PushFront(&entry{key: key, val: val, bytes: bytes, persisted: pflag})
 		s.used += bytes
+	}
+	if persisted {
+		pflag.Store(true)
+	} else if !pflag.Load() {
+		s.enqueueWrite(key, val, pflag)
 	}
 	for s.used > s.maxBytes && s.lru.Len() > 1 {
 		el := s.lru.Back()
@@ -245,7 +382,32 @@ func (s *Store) insert(key Key, val any, bytes int64) {
 		delete(s.entries, e.key)
 		s.used -= e.bytes
 		s.evictions++
+		if !e.persisted.Load() {
+			// Write-behind on evict: last chance to persist an artifact whose
+			// insert-time write was shed (full queue). The write is
+			// idempotent — content-addressed name, identical bytes — so a
+			// rare duplicate with a still-pending insert-time write is
+			// harmless.
+			s.enqueueWrite(e.key, e.val, e.persisted)
+		}
 	}
+}
+
+// enqueueWrite hands an artifact to the disk tier's bounded write-behind
+// queue (never blocking; a full queue sheds the write). Encoding happens on
+// the writer goroutine. Safe to call with mu held: PutAsync only takes the
+// disk store's own mutex and a non-blocking channel send.
+func (s *Store) enqueueWrite(key Key, val any, pflag *atomic.Bool) {
+	if s.disk == nil {
+		return
+	}
+	s.disk.PutAsync(diskName(key),
+		func() ([]byte, error) { return encodeArtifact(key, val) },
+		func(err error) {
+			if err == nil && pflag != nil {
+				pflag.Store(true)
+			}
+		})
 }
 
 // Len returns the resident entry count.
@@ -255,10 +417,17 @@ func (s *Store) Len() int {
 	return s.lru.Len()
 }
 
-// Contains reports whether key is resident (without touching LRU order).
+// Contains reports whether key is resident in memory (without touching LRU
+// order).
 func (s *Store) Contains(key Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.entries[key]
 	return ok
+}
+
+// ContainsOnDisk reports whether key has a published snapshot in the disk
+// tier (a stat, not a read: no access-stamp bump, no integrity check).
+func (s *Store) ContainsOnDisk(key Key) bool {
+	return s.disk != nil && s.disk.Contains(diskName(key))
 }

@@ -110,14 +110,49 @@ func TestStoreLRUEviction(t *testing.T) {
 	if st.BytesUsed != 80 {
 		t.Fatalf("bytes used = %d, want 80", st.BytesUsed)
 	}
-	// An artifact larger than the whole budget is admitted (and alone).
-	if _, _, err := s.Do(context.Background(), testKey(3), func(context.Context) (any, int64, error) {
-		return 3, 500, nil
-	}); err != nil {
-		t.Fatal(err)
+}
+
+// Oversized policy: an artifact larger than the whole byte budget is served
+// to its caller but never retained — holding it would evict the entire
+// working set for one request — and the resident set is untouched.
+func TestStoreOversizedServedNotRetained(t *testing.T) {
+	s := NewStore(100)
+	add := func(i int, bytes int64) (any, Source) {
+		v, src, err := s.Do(context.Background(), testKey(i), func(context.Context) (any, int64, error) {
+			return i, bytes, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, src
 	}
-	if !s.Contains(testKey(3)) || s.Len() != 1 {
-		t.Fatalf("oversize artifact handling broken: len=%d", s.Len())
+	add(0, 40)
+	add(1, 40)
+	v, src := add(3, 500) // oversized: > the whole 100-byte budget
+	if v != 3 || src != Computed {
+		t.Fatalf("oversized artifact not served: v=%v src=%v", v, src)
+	}
+	if s.Contains(testKey(3)) {
+		t.Fatal("oversized artifact was retained")
+	}
+	if !s.Contains(testKey(0)) || !s.Contains(testKey(1)) {
+		t.Fatal("oversized artifact evicted the resident working set")
+	}
+	st := s.Stats()
+	if st.Oversized != 1 {
+		t.Fatalf("oversized = %d, want 1", st.Oversized)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
+	}
+	// A resident key replaced by an oversized value (possible when two
+	// waiters of a cancelled owner recompute) drops the stale resident
+	// entry rather than serving it forever.
+	s.mu.Lock()
+	s.insert(testKey(0), 0, 500, false)
+	s.mu.Unlock()
+	if s.Contains(testKey(0)) {
+		t.Fatal("stale resident entry kept after oversized replacement")
 	}
 }
 

@@ -35,6 +35,8 @@ func RunDaemon(prog string, args []string) error {
 		clientRt  = fs.Float64("client-rate", 0, "per-client fair-share refill in cost units/second (0: capacity/2)")
 		clientBur = fs.Float64("client-burst", 0, "per-client fair-share bucket depth in cost units (0: capacity)")
 		failpts   = fs.String("failpoints", os.Getenv("PARSAMPLE_FAILPOINTS"), "fault-injection spec, e.g. \"pipeline.store.put=error;prob=0.01\" (default: $PARSAMPLE_FAILPOINTS; testing only)")
+		cacheDir  = fs.String("cache-dir", "", "persistent artifact-cache directory: computed artifacts are snapshotted here and survive restarts; replicas may share one directory (empty disables)")
+		diskBytes = fs.Int64("disk-cache-bytes", 0, "persistent cache pruning budget in bytes, least-recently-accessed snapshots deleted beyond it (0: 1 GiB; needs -cache-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +65,23 @@ func RunDaemon(prog string, args []string) error {
 		}
 		opts = append(opts, parsample.WithDatasets(names...))
 	}
+	if *cacheDir != "" {
+		// Validate here so a bad flag is a friendly error, not the
+		// facade's documented panic (after MkdirAll succeeds, New cannot
+		// fail on the directory).
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			return fmt.Errorf("%s: -cache-dir: %w", prog, err)
+		}
+		opts = append(opts, parsample.WithCacheDir(*cacheDir))
+		if *diskBytes > 0 {
+			opts = append(opts, parsample.WithDiskCacheBytes(*diskBytes))
+		}
+	}
 	p := parsample.New(opts...)
+	// On shutdown, after the listener drains: flush pending write-behind
+	// snapshots so everything computed this lifetime is disk-warm for the
+	// next one.
+	defer p.Close()
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: New(Config{

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"parsample"
+)
+
+// A daemon restart with a persistent cache directory: replica A computes and
+// exits, replica B sharing the directory serves the same request from disk
+// snapshots — byte-identical body, "disk" cache header, zero kernels run —
+// and the repeat on B is an ordinary memory hit.
+func TestWarmRestartServesFromDiskByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	pa := parsample.New(parsample.WithCacheDir(dir))
+	tsA := httptest.NewServer(New(Config{Pipeline: pa}))
+	respA, bodyA := post(t, tsA.URL+"/v1/pipeline", smallSynthBody)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", respA.StatusCode, bodyA)
+	}
+	if c := respA.Header.Get(CacheHeader); c != "miss" {
+		t.Fatalf("cold request cache header = %q, want miss", c)
+	}
+	tsA.Close()
+	pa.Close() // the daemon's shutdown path: drain, then flush write-behind
+
+	pb := parsample.New(parsample.WithCacheDir(dir))
+	defer pb.Close()
+	tsB := httptest.NewServer(New(Config{Pipeline: pb}))
+	defer tsB.Close()
+
+	respB, bodyB := post(t, tsB.URL+"/v1/pipeline", smallSynthBody)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("warm-restart status %d: %s", respB.StatusCode, bodyB)
+	}
+	if c := respB.Header.Get(CacheHeader); c != "disk" {
+		t.Fatalf("warm-restart cache header = %q, want disk", c)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("warm-restart response differs from the original bytes")
+	}
+	st := pb.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("warm restart ran %d kernels, want 0; stats %+v", st.Misses, st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("no disk hits recorded; stats %+v", st)
+	}
+
+	// Now resident: the repeat is a plain memory hit.
+	respC, bodyC := post(t, tsB.URL+"/v1/pipeline", smallSynthBody)
+	if c := respC.Header.Get(CacheHeader); c != "hit" {
+		t.Fatalf("repeat cache header = %q, want hit", c)
+	}
+	if !bytes.Equal(bodyA, bodyC) {
+		t.Fatal("resident repeat differs")
+	}
+
+	// /statsz serves the disk-tier counters on the wire.
+	_, statsBody := get(t, tsB.URL+"/statsz")
+	var wire struct {
+		Store map[string]json.RawMessage `json:"store"`
+	}
+	if err := json.Unmarshal(statsBody, &wire); err != nil {
+		t.Fatalf("statsz: %v\n%s", err, statsBody)
+	}
+	for _, k := range []string{"disk_hits", "disk_misses", "write_behind_pending", "write_behind_errors", "disk_bytes_used"} {
+		if _, ok := wire.Store[k]; !ok {
+			t.Fatalf("statsz store block lacks %q: %s", k, statsBody)
+		}
+	}
+}

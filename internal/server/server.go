@@ -16,7 +16,8 @@
 //
 // Every non-2xx response body is a structured api.Error. Synchronous
 // responses carry an X-Parsample-Cache header ("hit" when every stage was
-// served from the store, "miss" otherwise) — cache provenance stays out of
+// served from the store, "disk" when served without compute but through
+// the persistent tier, "miss" otherwise) — cache provenance stays out of
 // the body so response bytes remain a pure function of the request.
 package server
 
@@ -54,8 +55,10 @@ type Config struct {
 }
 
 // CacheHeader is the response header reporting cache provenance of a
-// synchronous run: "hit" when every stage was served resident, "miss"
-// when any stage computed.
+// synchronous run: "hit" when every stage was served from the in-memory
+// store, "disk" when no stage computed but at least one was loaded from
+// the persistent tier (the warm-restart signature), "miss" when any stage
+// computed.
 const CacheHeader = "X-Parsample-Cache"
 
 // Cost headers: the admission-time estimate and the measured compute of a
@@ -156,11 +159,15 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	warm := true
+	anyDisk := false
 	var computedMS float64
 	ctx = pipeline.WithObserver(ctx, func(e pipeline.TraceEntry) {
-		if e.Source == pipeline.Computed {
+		switch e.Source {
+		case pipeline.Computed:
 			warm = false
 			computedMS += float64(e.Duration.Microseconds()) / 1000
+		case pipeline.Disk:
+			anyDisk = true
 		}
 	})
 	resp, err := s.p.Do(ctx, norm)
@@ -172,9 +179,15 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Provenance precedence: any computed stage makes the request a miss;
+	// otherwise any persistent-tier load reports "disk" (the warm-restart
+	// signature); otherwise everything came from memory — "hit".
 	cache := "miss"
 	if warm {
 		cache = "hit"
+		if anyDisk {
+			cache = "disk"
+		}
 	}
 	w.Header().Set(CacheHeader, cache)
 	w.Header().Set(CostEstimateHeader, formatUnits(adm.estimate))

@@ -1,0 +1,290 @@
+// Package snapshot is the versioned binary codec for persisted pipeline
+// artifacts: CSR graphs, vertex orders, cluster sets, scored clusters,
+// match tables and filtered sampling results (DESIGN.md §10).
+//
+// Every snapshot is one self-validating byte blob:
+//
+//	offset 0   magic "PSNP"
+//	       4   u16 format version (FormatVersion)
+//	       6   u16 artifact type id
+//	       8   u64 payload length
+//	      16   u64 reserved (0)
+//	      24   payload (every field 8-byte aligned)
+//	 24+len    u64 CRC64-ECMA over bytes [0, 24+len)
+//
+// The payload is a flat little-endian layout mirroring the in-memory
+// arenas: scalars are 8-byte words (integers sign-extended, floats as IEEE
+// bits, so round-trips are exact), and arrays are a u64 count followed by
+// raw elements padded to the next 8-byte boundary. Because every section
+// starts 8-aligned, int32/int64/float64 arenas in a decoded snapshot can
+// alias the encoded buffer directly on little-endian machines — the
+// mmap'd zero-copy load path — with an element-wise copy as the portable
+// fallback.
+//
+// Decoding is defensive end to end: the checksum is verified before any
+// parsing, every read is bounds-checked, and a malformed blob yields an
+// error wrapping ErrCorrupt — never a panic, never a partially valid
+// artifact. The disk tier treats any decode error as an ordinary cache
+// miss and recomputes.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"unsafe"
+)
+
+// FormatVersion is the on-disk format revision. Any incompatible layout
+// change must bump it; decoders reject other versions (the caller then
+// recomputes and overwrites, which is how the cache migrates itself).
+const FormatVersion = 1
+
+// Artifact type ids carried in the header. Values are part of the on-disk
+// format: never renumber, only append.
+const (
+	// TypeGraph is a CSR correlation network (internal/graph.Graph).
+	TypeGraph uint16 = 1
+	// TypeOrder is a vertex processing order ([]int32).
+	TypeOrder uint16 = 2
+	// TypeClusters is an MCODE cluster set ([]mcode.Cluster).
+	TypeClusters uint16 = 3
+	// TypeScored is an ontology-scored cluster set ([]analysis.ScoredCluster).
+	TypeScored uint16 = 4
+	// TypeMatches is an original-vs-filtered match table ([]analysis.Match).
+	TypeMatches uint16 = 5
+	// TypeFiltered is a sampling result plus its materialized subgraph.
+	TypeFiltered uint16 = 6
+)
+
+// ErrCorrupt is wrapped by every decode failure: bad magic, version or type
+// mismatch, checksum failure, truncation, or structurally invalid contents.
+var ErrCorrupt = errors.New("snapshot: corrupt or incompatible snapshot")
+
+const (
+	headerLen  = 24
+	trailerLen = 8
+	magic      = "PSNP"
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// hostLittleEndian reports whether int32/float64 arenas may alias encoded
+// bytes directly (the format is little-endian on disk).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ----------------------------------------------------------------- encoder
+
+// enc builds a snapshot payload. All put methods keep the write cursor
+// 8-byte aligned.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *enc) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) pad8() {
+	for len(e.buf)%8 != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *enc) i32s(v []int32) {
+	e.u64(uint64(len(v)))
+	if hostLittleEndian && len(v) > 0 {
+		e.buf = append(e.buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))...)
+	} else {
+		for _, x := range v {
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
+		}
+	}
+	e.pad8()
+}
+
+func (e *enc) i64s(v []int64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.u64(uint64(x))
+	}
+}
+
+func (e *enc) f64s(v []float64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// finish wraps the payload in header and checksum trailer.
+func finish(typeID uint16, payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload)+trailerLen)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, FormatVersion)
+	out = binary.LittleEndian.AppendUint16(out, typeID)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint64(out, 0) // reserved
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint64(out, crc64.Checksum(out, crcTable))
+	return out
+}
+
+// ----------------------------------------------------------------- decoder
+
+// dec is a bounds-checked payload reader with a sticky error: after the
+// first short or invalid read every subsequent getter returns zero values,
+// and the caller checks dec.err once per structural unit.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	}
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads an array length and verifies the declared elements fit the
+// remaining payload, so a corrupt length can never drive a huge allocation.
+func (d *dec) count(elemSize int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)-d.off)/uint64(elemSize) {
+		d.fail("array length exceeds payload")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) pad8() {
+	for d.err == nil && d.off%8 != 0 {
+		if d.off >= len(d.buf) {
+			d.fail("truncated padding")
+			return
+		}
+		d.off++
+	}
+}
+
+// i32s reads an int32 array. On little-endian hosts the returned slice
+// aliases the decode buffer (zero copy out of an mmap'd snapshot); callers
+// adopt it as immutable, exactly like a CSR arena.
+func (d *dec) i32s() []int32 {
+	n := d.count(4)
+	if d.err != nil || n == 0 {
+		d.pad8()
+		return nil
+	}
+	raw := d.buf[d.off : d.off+4*n]
+	d.off += 4 * n
+	d.pad8()
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+func (d *dec) i64s() []int64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out
+}
+
+func (d *dec) f64s() []float64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// TypeOf returns the artifact type id of an encoded snapshot without
+// verifying the checksum (a routing peek; full validation happens on
+// decode).
+func TypeOf(data []byte) (uint16, error) {
+	if len(data) < headerLen || string(data[:4]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint16(data[6:]), nil
+}
+
+// open validates the envelope — magic, version, type, length, checksum —
+// and returns a payload decoder. Checksum first: parsing only ever sees
+// bytes that hashed clean end to end.
+func open(data []byte, wantType uint16) (*dec, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	sum := binary.LittleEndian.Uint64(data[len(data)-trailerLen:])
+	if crc64.Checksum(data[:len(data)-trailerLen], crcTable) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, v, FormatVersion)
+	}
+	if t := binary.LittleEndian.Uint16(data[6:]); t != wantType {
+		return nil, fmt.Errorf("%w: artifact type %d, want %d", ErrCorrupt, t, wantType)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-headerLen-trailerLen) {
+		return nil, fmt.Errorf("%w: payload length %d in a %d-byte snapshot", ErrCorrupt, plen, len(data))
+	}
+	return &dec{buf: data[headerLen : headerLen+int(plen)]}, nil
+}
+
+// done verifies the payload was consumed exactly and returns the decode
+// error, if any.
+func (d *dec) done() error {
+	if d.err == nil && d.off != len(d.buf) {
+		d.fail("trailing bytes after payload")
+	}
+	return d.err
+}

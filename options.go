@@ -16,10 +16,12 @@ type Option func(*pipelineSettings)
 
 // pipelineSettings is the resolved configuration behind New.
 type pipelineSettings struct {
-	cacheBytes  int64
-	workers     int
-	datasets    []string // nil: every built-in dataset is served
-	batchWindow time.Duration
+	cacheBytes     int64
+	workers        int
+	datasets       []string // nil: every built-in dataset is served
+	batchWindow    time.Duration
+	cacheDir       string
+	diskCacheBytes int64
 }
 
 // WithCacheBytes sets the artifact-store byte budget. The default (0 or
@@ -45,6 +47,27 @@ func WithWorkers(n int) Option {
 // (parsampled's -batch-window defaults to 2ms).
 func WithBatchWindow(d time.Duration) Option {
 	return func(s *pipelineSettings) { s.batchWindow = d }
+}
+
+// WithCacheDir enables the persistent artifact tier: expensive stage
+// artifacts (correlation networks, filtered subgraphs, cluster sets) are
+// snapshotted to content-addressed blobs under dir and served back —
+// checksum-verified — on later misses, so they survive process restarts.
+// Any number of pipelines and processes may share one directory; snapshot
+// publication is atomic, and replicas sharing a directory share their warm
+// sets (DESIGN.md §10). New panics if dir cannot be created; callers
+// surfacing configuration errors gracefully should ensure the directory
+// exists first (os.MkdirAll), after which New cannot fail. The default
+// (omitted or empty) keeps artifacts in memory only.
+func WithCacheDir(dir string) Option {
+	return func(s *pipelineSettings) { s.cacheDir = dir }
+}
+
+// WithDiskCacheBytes bounds the persistent tier's directory usage;
+// least-recently-accessed snapshots are pruned beyond it. The default (0
+// or omitted) is 1 GiB. Only meaningful with WithCacheDir.
+func WithDiskCacheBytes(n int64) Option {
+	return func(s *pipelineSettings) { s.diskCacheBytes = n }
 }
 
 // WithDatasets restricts which built-in evaluation datasets (YNG, MID,

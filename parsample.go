@@ -340,8 +340,8 @@ type StageTiming struct {
 	Stage string
 	// Variant is "orig" or "ordering/algorithm/P".
 	Variant string
-	// Source is "computed", "hit" or "shared" (joined another request's
-	// in-flight computation).
+	// Source is "computed", "hit", "shared" (joined another request's
+	// in-flight computation) or "disk" (loaded from the persistent tier).
 	Source string
 	// Duration is the request's wall time (≈ 0 for hits).
 	Duration time.Duration
@@ -406,6 +406,8 @@ func New(opts ...Option) *Pipeline {
 		MaxBytes:    s.cacheBytes,
 		Workers:     s.workers,
 		BatchWindow: s.batchWindow,
+		CacheDir:    s.cacheDir,
+		DiskBytes:   s.diskCacheBytes,
 	})}
 	p.resolver.init(resolverCacheCap)
 	if s.datasets != nil {
@@ -431,8 +433,16 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 }
 
 // Stats returns the artifact-store counters (hits, misses, in-flight joins,
-// evictions, resident bytes).
+// evictions, resident bytes, and — with WithCacheDir — the disk tier's
+// hit/write-behind counters).
 func (p *Pipeline) Stats() PipelineStats { return p.eng.Stats() }
+
+// Close flushes the persistent tier's pending write-behind snapshots and
+// stops its background writer. A no-op without WithCacheDir; the Pipeline
+// remains usable afterwards (artifacts just stop being persisted). Servers
+// should call it after draining, so work computed just before a restart is
+// disk-warm after it.
+func (p *Pipeline) Close() { p.eng.Close() }
 
 // Run executes the pipeline end to end: network → order → filter → cluster
 // (→ score when an ontology is present). ctx cancels the run mid-kernel;
