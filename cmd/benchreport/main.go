@@ -4,11 +4,16 @@
 // the HTTP serving tier cold vs warm, the snapshot codec, and the
 // warm-restart path (a fresh process serving the 4096×100 reference request
 // from disk snapshots instead of recomputing — acceptance: ≥ 10× faster
-// than the cold recompute). CI runs it on every push so the perf trajectory
-// is comparable PR-over-PR; the checked-in BENCH_9.json is the snapshot from
-// the revision that introduced the persistent artifact tier.
+// than the cold recompute), and the distributed sampling tier: the four
+// parallel samplers run for real across loopback worker processes at
+// P ∈ {1,2,4,8}, with measured wall-clock speedup next to the calibrated
+// cost model's prediction and the per-point model error (acceptance: every
+// distributed edge set is byte-identical to the simulator's). CI runs it on
+// every push so the perf trajectory is comparable PR-over-PR; the
+// checked-in BENCH_10.json is the snapshot from the revision that
+// introduced the TCP transport tier.
 //
-//	go run ./cmd/benchreport -o BENCH_9.json
+//	go run ./cmd/benchreport -o BENCH_10.json
 package main
 
 import (
@@ -27,9 +32,11 @@ import (
 	"testing"
 
 	"parsample"
+	"parsample/internal/experiments"
 	"parsample/internal/expr"
 	"parsample/internal/server"
 	"parsample/internal/snapshot"
+	"parsample/internal/transport"
 )
 
 // report is the BENCH_*.json schema. NsPerOp keys are stable across PRs;
@@ -48,6 +55,28 @@ type report struct {
 	// time for the 4096×100 reference request served by a fresh process
 	// (acceptance: ≥ 10).
 	WarmRestartSpeedup float64 `json:"warm_restart_speedup"`
+	// DistModel is the loopback-calibrated cost model the distributed
+	// predictions were made with (seconds per op / per-message overhead /
+	// per byte) — machine-dependent, recorded so the predictions are
+	// reproducible.
+	DistModel map[string]float64 `json:"dist_model"`
+	// Distributed is the measured Figure-10: per parallel sampler, the
+	// loopback cluster's wall-clock speedup at each rank count next to the
+	// cost model's prediction. Match is asserted (the run fails on a
+	// mismatch), so every point here is from a byte-identical edge set.
+	Distributed map[string][]distPoint `json:"distributed"`
+}
+
+// distPoint is one measured-vs-modeled point of the distributed study.
+type distPoint struct {
+	P               int     `json:"p"`
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	ModeledSeconds  float64 `json:"modeled_seconds"`
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	Efficiency      float64 `json:"efficiency"`
+	ModelErrorPct   float64 `json:"model_error_pct"`
+	EdgesKept       int     `json:"edges_kept"`
 }
 
 // serverBody mirrors the serving tier's bench request: a synthesized matrix
@@ -58,11 +87,11 @@ const serverBody = `{
 }`
 
 func main() {
-	out := flag.String("o", "BENCH_9.json", "output path ('-' for stdout)")
+	out := flag.String("o", "BENCH_10.json", "output path ('-' for stdout)")
 	flag.Parse()
 
 	r := report{
-		ID:        "BENCH_9",
+		ID:        "BENCH_10",
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -111,6 +140,10 @@ func main() {
 	r.NsPerOp["server/pipeline/warm_restart_disk/4096x100"] = diskBig
 	r.WarmRestartSpeedup = coldBig / diskBig
 
+	distModel, dist := distributedStudy()
+	r.DistModel = distModel
+	r.Distributed = dist
+
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -124,6 +157,51 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%s, %s)\n", *out, r.KernelISA, r.Go)
+}
+
+// distributedStudy runs the measured Figure-10: in-process loopback
+// workers host the non-zero ranks, the coordinator runs rank 0, and every
+// distributed edge set is checked byte-identical against the simulator's
+// before a point is recorded.
+func distributedStudy() (map[string]float64, map[string][]distPoint) {
+	n := 0
+	for _, p := range experiments.DistProcessors {
+		if p-1 > n {
+			n = p - 1
+		}
+	}
+	addrs, stop, err := experiments.StartLocalWorkers(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	cl, err := transport.Dial("127.0.0.1:0", addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	rows, model, err := experiments.FigDist(context.Background(), cl, experiments.DistGraph(), experiments.DistProcessors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := map[string][]distPoint{}
+	for _, row := range rows {
+		dist[row.Algorithm] = append(dist[row.Algorithm], distPoint{
+			P:               row.P,
+			MeasuredSeconds: row.MeasuredSeconds,
+			ModeledSeconds:  row.ModeledSeconds,
+			MeasuredSpeedup: row.MeasuredSpeedup,
+			ModeledSpeedup:  row.ModeledSpeedup,
+			Efficiency:      row.Efficiency,
+			ModelErrorPct:   row.ModelErrorPct,
+			EdgesKept:       row.EdgesKept,
+		})
+	}
+	return map[string]float64{
+		"seconds_per_op":   model.SecondsPerOp,
+		"overhead_seconds": model.OverheadSeconds,
+		"seconds_per_byte": model.SecondsPerByte,
+	}, dist
 }
 
 // benchServer boots the serving tier with an effectively unmetered

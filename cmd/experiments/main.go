@@ -5,7 +5,14 @@
 //
 //	experiments -fig 4        # one figure (4,5,6,7,8,9,10,11)
 //	experiments -fig rw       # the random-walk control result (Section IV.B)
+//	experiments -fig dist     # measured Figure 10: real TCP ranks vs the model
 //	experiments -fig all      # everything (several minutes)
+//
+// -fig dist runs the four parallel samplers distributed across worker
+// processes (in-process loopback workers by default; point -workers at
+// parsample-worker addresses for a real cluster) and prints measured
+// wall-clock speedup next to the cost model's prediction. The run fails if
+// any distributed edge set differs from the simulator's.
 //
 // Figures run on the shared pipeline engine, so a full sweep computes every
 // shared filtered-network/cluster/score chain once. A failing figure is
@@ -23,11 +30,24 @@ import (
 	"strings"
 
 	"parsample/internal/experiments"
+	"parsample/internal/transport"
 )
 
+// maxInt returns the largest element of a non-empty slice.
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|rw|lostfound|cliques|hubs|border|corr|scaling|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4|5|6|7|8|9|10|11|dist|rw|lostfound|cliques|hubs|border|corr|scaling|all")
 	cacheStats := flag.Bool("cachestats", false, "print pipeline artifact-store statistics after the run")
+	workers := flag.String("workers", "", "comma-separated parsample-worker addresses for -fig dist (empty: boot in-process workers)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -109,6 +129,32 @@ func main() {
 		}
 		experiments.Header(out, "Figure 10: scalability of the sampling algorithms (modeled cluster time)")
 		experiments.WriteFig10(out, rows)
+		return nil
+	})
+	run("dist", func() error {
+		addrs := strings.Split(*workers, ",")
+		if *workers == "" {
+			var stop func()
+			var err error
+			addrs, stop, err = experiments.StartLocalWorkers(maxInt(experiments.DistProcessors) - 1)
+			if err != nil {
+				return err
+			}
+			defer stop()
+		}
+		cl, err := transport.Dial("127.0.0.1:0", addrs)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		rows, model, err := experiments.FigDist(ctx, cl, experiments.DistGraph(), experiments.DistProcessors)
+		if err != nil {
+			return err
+		}
+		experiments.Header(out, "Figure 10 (measured): distributed TCP ranks, measured vs modeled speedup")
+		fmt.Fprintf(out, "calibrated model: %.3gs/op, %.3gs/msg overhead, %.3gs/byte\n",
+			model.SecondsPerOp, model.OverheadSeconds, model.SecondsPerByte)
+		experiments.WriteFigDist(out, rows)
 		return nil
 	})
 	run("11", func() error {

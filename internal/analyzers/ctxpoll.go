@@ -26,7 +26,7 @@ var CtxPoll = &analysis.Analyzer{
 }
 
 var (
-	ctxPollScope = scopeFlag{expr: `(^|/)(expr|chordal|mcode|analysis|sampling|pipeline)$`}
+	ctxPollScope = scopeFlag{expr: `(^|/)(expr|chordal|mcode|analysis|sampling|pipeline|comm|transport)$`}
 	// ctxFieldAllow matches struct type names that may legitimately carry a
 	// context (request/job state machines that own the request lifetime).
 	ctxFieldAllow = scopeFlag{expr: `(Request|Job|Task)$`}

@@ -26,10 +26,13 @@ var NonDeterm = &analysis.Analyzer{
 	Run: runNonDeterm,
 }
 
-// nonDetermScope is kernelScope minus mpisim: its virtual clocks model time
-// (modeled seconds, never the machine clock), so time-shaped code is native
-// there; the serving/ops layers are outside kernelScope to begin with.
-var nonDetermScope = scopeFlag{expr: `(^|/)(expr|chordal|mcode|analysis|sampling|pipeline|graph|ontology|cliques|centrality|datasets|experiments|api|parsample)$`}
+// nonDetermScope is kernelScope minus mpisim and transport: their clocks
+// are native (mpisim's virtual clocks model time; transport measures real
+// wall clocks next to the modeled seconds by design), so time-shaped code
+// belongs there; the serving/ops layers are outside kernelScope to begin
+// with. comm is in scope: it owns the clock *arithmetic* both backends
+// share, which must itself never read the machine clock.
+var nonDetermScope = scopeFlag{expr: `(^|/)(expr|chordal|mcode|analysis|sampling|pipeline|graph|ontology|cliques|centrality|datasets|experiments|api|comm|parsample)$`}
 
 func init() {
 	NonDeterm.Flags.Init("nondeterm", flag.ExitOnError)

@@ -1,0 +1,138 @@
+// Package comm defines the rank-side communication surface the parallel
+// samplers run against: a Comm of P ranks, each driven through a Rank
+// handle offering nonblocking point-to-point sends, deterministic receives
+// (AnyRecv delivers by modeled arrival stamp, sender rank breaking ties),
+// the four collectives the kernels use (Barrier, Bcast, Gatherv,
+// Allreduce), abort propagation, and byte/message accounting.
+//
+// Two implementations exist: internal/mpisim simulates all P ranks as
+// goroutines in one process under virtual clocks (the Figure-10 model),
+// and internal/transport runs each rank as a real process connected over
+// TCP. Both advance the same virtual clocks through the shared CostModel
+// helpers in this package and apply the same AnyRecv delivery rule, so a
+// sampler executed on either backend produces byte-identical edge sets,
+// identical per-rank clocks, and identical traffic counters — the
+// determinism contract the differential tests in internal/transport pin.
+package comm
+
+import "context"
+
+// Message is a tagged payload between ranks.
+type Message struct {
+	From    int
+	Tag     int
+	Payload any
+	Bytes   int     // accounted payload size
+	Arrive  float64 // modeled arrival time at the receiver (seconds)
+}
+
+// ReduceOp selects the Allreduce combiner.
+type ReduceOp int
+
+const (
+	// ReduceSum adds contributions.
+	ReduceSum ReduceOp = iota
+	// ReduceMax keeps the maximum contribution.
+	ReduceMax
+	// ReduceMin keeps the minimum contribution.
+	ReduceMin
+)
+
+// AbortSignal is the sentinel a rank goroutine unwinds with when its run is
+// aborted. Comm implementations panic with it from blocking primitives
+// (and from Rank.Abort) and recover it — and only it — inside Comm.Run.
+type AbortSignal struct{}
+
+// Rank is one processor's handle inside Comm.Run. All methods must be
+// called only from the goroutine the handle was passed to (SPMD
+// discipline: the same kernel closure runs on every rank).
+type Rank interface {
+	// ID returns this rank's index in [0, P).
+	ID() int
+	// P returns the communicator size.
+	P() int
+	// Ops returns the operations charged so far via Compute.
+	Ops() int64
+	// Clock returns the rank's virtual time in modeled seconds.
+	Clock() float64
+	// Compute charges n elementary operations of local work, advancing the
+	// virtual clock by n·SecondsPerOp.
+	Compute(n int64)
+
+	// Send posts a message to rank `to`. It never blocks (per-pair queues
+	// are unbounded), so no send/receive ordering can deadlock a run. The
+	// sender's clock pays the per-message overhead; the message is stamped
+	// with its modeled arrival time (send time + latency + bytes/bandwidth).
+	Send(to, tag int, payload any, size int)
+	// Recv blocks until a message from rank `from` is pending and returns
+	// the oldest one, advancing the receiver's clock to the message's
+	// arrival (if not already past it) plus the per-message overhead.
+	Recv(from int) Message
+	// AnyRecv receives from any of the given sources: it returns the
+	// pending message with the smallest modeled arrival time (sender rank
+	// breaks ties). To keep delivery deterministic it waits until every
+	// listed source has at least one pending message — only then is the
+	// earliest virtual arrival decidable. Callers drop a source from the
+	// set once its end-of-stream message arrives.
+	AnyRecv(sources []int) Message
+	// Sendrecv posts the send (never blocking) and then receives from
+	// `from` — the classic deadlock-safe exchange primitive.
+	Sendrecv(to, tag int, payload any, size int, from int) Message
+
+	// Barrier blocks until all P ranks have called it.
+	Barrier()
+	// Bcast broadcasts root's payload to every rank (each caller passes
+	// its own payload; only root's is delivered) and returns it.
+	Bcast(root int, payload any, size int) any
+	// Gatherv gathers every rank's (variable-size) payload to root. At
+	// root the returned slice holds rank i's payload at index i; every
+	// other rank gets nil.
+	Gatherv(root int, payload any, size int) []any
+	// Allreduce combines every rank's contribution with op and returns the
+	// result on all ranks (folded in rank order, so bitwise identical
+	// everywhere).
+	Allreduce(v float64, op ReduceOp) float64
+
+	// Abort unwinds the calling rank goroutine with AbortSignal; Comm.Run
+	// recovers it. Rank compute loops call this when they observe a
+	// cancelled context.
+	Abort()
+}
+
+// Comm is a communicator over P ranks. A simulated communicator hosts all
+// P ranks in-process; a transport communicator hosts exactly one local
+// rank and reaches the rest over the wire — either way Run drives every
+// locally-hosted rank and returns once they have finished or unwound.
+type Comm interface {
+	// P returns the number of ranks.
+	P() int
+	// Run executes fn on every locally-hosted rank and waits for
+	// completion. An aborted run still returns once every local rank has
+	// finished or unwound; the error reports transport or abort causes
+	// (simulated runs return nil and leave cancellation to the caller's
+	// context check).
+	Run(fn func(r Rank)) error
+	// Abort marks the run as aborted and wakes every local rank blocked in
+	// a receive or collective. Safe to call from any goroutine, repeatedly.
+	Abort()
+	// Aborted reports whether Abort has been called.
+	Aborted() bool
+	// AbortOnCancel aborts the communicator when ctx is cancelled. The
+	// returned stop function releases the watcher; call it (typically via
+	// defer) after Run returns.
+	AbortOnCancel(ctx context.Context) (stop func())
+
+	// Messages returns the total point-to-point messages sent (local ranks).
+	Messages() int64
+	// Bytes returns the total point-to-point payload bytes sent.
+	Bytes() int64
+	// CollMessages returns the modeled message count of the collectives.
+	CollMessages() int64
+	// CollBytes returns the modeled payload bytes moved by the collectives.
+	CollBytes() int64
+	// FillStats copies the run's accounting into s: per-rank operation
+	// counts, virtual clocks and wall clocks, point-to-point traffic, and
+	// collective traffic. Complete only on a simulated communicator or on
+	// the distributed rank that gathers remote stats (rank 0).
+	FillStats(s *RunStats)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"parsample/internal/graph"
+	"parsample/internal/transport"
+)
+
+// TestFigDistLoopback drives the measured study end to end on a reduced
+// workload: in-process workers, two algorithms' worth of rows checked for
+// shape (the full four-algorithm sweep is cmd/benchreport's job). FigDist
+// itself enforces the byte-identity acceptance criterion — reaching the
+// rows at all means every distributed edge set matched the simulator's.
+func TestFigDistLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a loopback cluster")
+	}
+	addrs, stop, err := StartLocalWorkers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cl, err := transport.Dial("127.0.0.1:0", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	g := graph.RMAT(10, 8, 0, 0, 0, distGraphSeed)
+	ps := []int{1, 2, 4}
+	rows, model, err := FigDist(context.Background(), cl, g, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.SecondsPerOp <= 0 || model.OverheadSeconds <= 0 || model.SecondsPerByte <= 0 {
+		t.Fatalf("uncalibrated model: %+v", model)
+	}
+	if want := len(DistAlgorithms) * len(ps); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Fatalf("%s P=%d: Match=false row survived", r.Algorithm, r.P)
+		}
+		if r.MeasuredSeconds <= 0 || r.ModeledSeconds <= 0 {
+			t.Fatalf("%s P=%d: non-positive seconds: %+v", r.Algorithm, r.P, r)
+		}
+		if r.P == ps[0] && (r.MeasuredSpeedup != 1 || r.ModeledSpeedup != 1 || r.ModelErrorPct != 0) {
+			t.Fatalf("baseline row not normalized: %+v", r)
+		}
+		if r.EdgesKept <= 0 {
+			t.Fatalf("%s P=%d: no edges kept", r.Algorithm, r.P)
+		}
+	}
+}
+
+// TestDistWorkloadIsStable pins the measured study's input: the workload
+// is part of the benchmark's identity, so a silent change to the generator
+// or its parameters should fail loudly here, not shift BENCH numbers.
+func TestDistWorkloadIsStable(t *testing.T) {
+	g := DistGraph()
+	if g.N() != 16384 {
+		t.Fatalf("dist workload has %d vertices, want 16384", g.N())
+	}
+	if g.M() != 114030 {
+		t.Fatalf("dist workload has %d edges, want 114030", g.M())
+	}
+}

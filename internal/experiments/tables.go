@@ -60,6 +60,18 @@ func WriteFig10(w io.Writer, rows []Fig10Row) {
 	tw.Flush()
 }
 
+// WriteFigDist renders the measured-vs-modeled distributed study.
+func WriteFigDist(w io.Writer, rows []DistRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tP\tmeasured_s\tmodeled_s\tmeasured_speedup\tmodeled_speedup\tefficiency\tmodel_err_pct\tmatch\tedges_kept")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\t%.2f\t%.2f\t%.2f\t%+.1f\t%v\t%d\n",
+			r.Algorithm, r.P, r.MeasuredSeconds, r.ModeledSeconds,
+			r.MeasuredSpeedup, r.ModeledSpeedup, r.Efficiency, r.ModelErrorPct, r.Match, r.EdgesKept)
+	}
+	tw.Flush()
+}
+
 // WriteFig11 renders the parallel-quality comparison.
 func WriteFig11(w io.Writer, overlaps []Fig11OverlapRow, tops []Fig11TopRow) {
 	fmt.Fprintln(w, "-- cluster overlap with ORIG (CRE, natural order) --")

@@ -1,90 +1,17 @@
 package mpisim
 
-// CostModel translates simulated work and communication into modeled
-// cluster execution time (seconds). The constants default to values
-// typical of the 2012-era commodity clusters the paper used (Firefly: AMD
-// dual/quad-core nodes, gigabit-class interconnect). The model follows
-// LogP: per-message CPU overhead at each end (OverheadSeconds), wire
-// latency (LatencySeconds), inverse bandwidth (SecondsPerByte), plus a
-// per-operation compute cost (SecondsPerOp).
-type CostModel struct {
-	SecondsPerOp    float64 // per elementary graph operation
-	LatencySeconds  float64 // wire latency per point-to-point message
-	OverheadSeconds float64 // per-message CPU overhead at sender and receiver
-	SecondsPerByte  float64 // inverse bandwidth
-	SerialSecPerOp  float64 // per op of unavoidable serial work (merge/dedup)
-}
+import "parsample/internal/comm"
+
+// CostModel is the LogP-style cost model shared with the TCP runtime; it
+// lives in internal/comm so both backends advance clocks through the same
+// arithmetic (see comm.CostModel's *Advance helpers).
+type CostModel = comm.CostModel
+
+// RunStats captures everything the model needs from one parallel run; the
+// shared definition lives in internal/comm.
+type RunStats = comm.RunStats
 
 // DefaultCostModel mirrors a ~100 Mops/s per-core graph workload with
 // ~50 µs MPI latency, ~10 µs per-message overhead and ~100 MB/s effective
 // bandwidth.
-func DefaultCostModel() CostModel {
-	return CostModel{
-		SecondsPerOp:    1e-8,
-		LatencySeconds:  50e-6,
-		OverheadSeconds: 10e-6,
-		SecondsPerByte:  1e-8,
-		SerialSecPerOp:  1e-8,
-	}
-}
-
-// RunStats captures everything the model needs from one parallel run.
-type RunStats struct {
-	P            int
-	RankOps      []int64   // per-rank elementary operations (compute)
-	RankSeconds  []float64 // per-rank virtual clocks at run end (critical path)
-	Messages     int64     // point-to-point messages
-	Bytes        int64     // point-to-point payload bytes
-	CollMessages int64     // modeled messages moved by collectives
-	CollBytes    int64     // modeled payload bytes moved by collectives
-	SerialOps    int64     // post-processing done on one processor (dedup, merge)
-	Restarts     int64     // random-walk restarts (tracked, not charged as compute)
-}
-
-// MaxRankOps returns the bottleneck rank's operation count.
-func (s *RunStats) MaxRankOps() int64 {
-	var mx int64
-	for _, v := range s.RankOps {
-		if v > mx {
-			mx = v
-		}
-	}
-	return mx
-}
-
-// TotalOps returns the sum of per-rank operations.
-func (s *RunStats) TotalOps() int64 {
-	var t int64
-	for _, v := range s.RankOps {
-		t += v
-	}
-	return t
-}
-
-// CriticalPath returns the latest per-rank virtual clock, or 0 when the run
-// carried no clocks (sequential algorithms, legacy stats).
-func (s *RunStats) CriticalPath() float64 {
-	var mx float64
-	for _, t := range s.RankSeconds {
-		if t > mx {
-			mx = t
-		}
-	}
-	return mx
-}
-
-// Time returns the modeled execution time in seconds. Runs executed on the
-// clocked runtime (RankSeconds present) are charged their critical path —
-// the latest rank's virtual clock, which already interleaves compute with
-// the communication it actually waited on — plus the serial tail. Legacy
-// stats without clocks fall back to the flat approximation
-// bottleneck compute + total latency + total transfer + serial tail.
-func (m CostModel) Time(s *RunStats) float64 {
-	if len(s.RankSeconds) > 0 {
-		return s.CriticalPath() + float64(s.SerialOps)*m.SerialSecPerOp
-	}
-	return float64(s.MaxRankOps())*m.SecondsPerOp +
-		float64(s.Messages)*m.LatencySeconds +
-		float64(s.Bytes)*m.SecondsPerByte +
-		float64(s.SerialOps)*m.SerialSecPerOp
-}
+func DefaultCostModel() CostModel { return comm.DefaultCostModel() }

@@ -1,5 +1,6 @@
-// Package mpisim is a deadlock-free simulated distributed-memory runtime.
-// The paper ran on the Firefly MPI cluster with 1–64 processors; here each
+// Package mpisim is a deadlock-free simulated distributed-memory runtime —
+// the in-process implementation of the comm.Comm/comm.Rank surface. The
+// paper ran on the Firefly MPI cluster with 1–64 processors; here each
 // rank is a goroutine driven through a *Rank handle, point-to-point sends
 // are nonblocking posts into unbounded per-pair queues, and collectives
 // (Bcast, Gatherv, Allreduce, Barrier) rendezvous through a generation-
@@ -8,7 +9,10 @@
 // message with its modeled arrival time, and receives advance the clock to
 // that arrival — so after a run the per-rank clocks give the critical path
 // (max over ranks of compute plus waited-on communication) that
-// CostModel.Time reports for the Figure 10 scalability study.
+// CostModel.Time reports for the Figure 10 scalability study. The clock
+// arithmetic itself lives in comm.CostModel's *Advance helpers, shared
+// with the TCP runtime (internal/transport) so the two backends cannot
+// drift.
 //
 // Deadlock freedom: a send can never block (queues are unbounded), so any
 // run in which every receive is eventually matched by a send terminates.
@@ -27,19 +31,15 @@ package mpisim
 import (
 	"context"
 	"fmt"
-	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"parsample/internal/comm"
 )
 
 // Message is a tagged payload between ranks.
-type Message struct {
-	From    int
-	Tag     int
-	Payload any
-	Bytes   int     // accounted payload size
-	Arrive  float64 // modeled arrival time at the receiver (seconds)
-}
+type Message = comm.Message
 
 // Comm is a communicator over P simulated ranks.
 type Comm struct {
@@ -56,7 +56,10 @@ type Comm struct {
 	collBytes atomic.Int64
 
 	aborted atomic.Bool
+	wall    float64 // measured wall seconds of the last Run
 }
+
+var _ comm.Comm = (*Comm)(nil)
 
 // NewComm creates a communicator for p ranks using DefaultCostModel for the
 // virtual clocks.
@@ -95,20 +98,25 @@ func (c *Comm) CollMessages() int64 { return c.collMsgs.Load() }
 func (c *Comm) CollBytes() int64 { return c.collBytes.Load() }
 
 // Run launches fn on every rank concurrently and waits for completion.
+// It always returns nil: simulated runs have no transport failures, and
+// cancellation is reported by the caller's own context check.
 //
 // A rank may abort mid-run (Rank.Abort, or any blocking primitive after
-// Comm.Abort): its goroutine unwinds via a sentinel panic that Run recovers,
-// so an aborted run still returns once every rank has either finished or
-// unwound — no goroutine outlives Run.
-func (c *Comm) Run(fn func(r *Rank)) {
+// Comm.Abort): its goroutine unwinds via the comm.AbortSignal sentinel
+// that Run recovers, so an aborted run still returns once every rank has
+// either finished or unwound — no goroutine outlives Run.
+func (c *Comm) Run(fn func(r comm.Rank)) error {
+	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(c.p)
 	for r := 0; r < c.p; r++ {
 		go func(rk *Rank) {
 			defer wg.Done()
+			rankStart := time.Now()
 			defer func() {
+				rk.wall = time.Since(rankStart).Seconds()
 				if e := recover(); e != nil {
-					if _, ok := e.(abortPanic); !ok {
+					if _, ok := e.(comm.AbortSignal); !ok {
 						panic(e)
 					}
 				}
@@ -117,11 +125,9 @@ func (c *Comm) Run(fn func(r *Rank)) {
 		}(c.ranks[r])
 	}
 	wg.Wait()
+	c.wall = time.Since(start).Seconds()
+	return nil
 }
-
-// abortPanic is the sentinel a rank goroutine unwinds with when the run is
-// aborted; Comm.Run recovers it (and only it).
-type abortPanic struct{}
 
 // Aborted reports whether Abort has been called on the communicator.
 func (c *Comm) Aborted() bool { return c.aborted.Load() }
@@ -166,22 +172,28 @@ func (c *Comm) AbortOnCancel(ctx context.Context) (stop func()) {
 // context, so a cancelled run terminates promptly even between blocking
 // primitives. Must not be called while holding runtime locks (blocking
 // primitives handle their own abort checks, releasing locks first).
-func (r *Rank) Abort() { panic(abortPanic{}) }
+func (r *Rank) Abort() { panic(comm.AbortSignal{}) }
 
-// FillStats copies the run's accounting into s: per-rank operation counts
-// and virtual clocks, point-to-point traffic, and collective traffic.
+// FillStats copies the run's accounting into s: per-rank operation counts,
+// virtual clocks and measured wall clocks, point-to-point traffic, and
+// collective traffic. The wall fields of a simulated run are goroutine
+// scheduling time, not a measurement, so Measured stays false.
 func (c *Comm) FillStats(s *RunStats) {
 	s.P = c.p
 	s.RankOps = make([]int64, c.p)
 	s.RankSeconds = make([]float64, c.p)
+	s.RankWallSeconds = make([]float64, c.p)
 	for i, r := range c.ranks {
 		s.RankOps[i] = r.ops
 		s.RankSeconds[i] = r.clock
+		s.RankWallSeconds[i] = r.wall
 	}
 	s.Messages = c.msgs.Load()
 	s.Bytes = c.bytes.Load()
 	s.CollMessages = c.collMsgs.Load()
 	s.CollBytes = c.collBytes.Load()
+	s.WallSeconds = c.wall
+	s.Measured = false
 }
 
 // Rank is one simulated processor's handle inside Comm.Run. All methods
@@ -191,7 +203,10 @@ type Rank struct {
 	id    int
 	ops   int64
 	clock float64
+	wall  float64 // measured wall seconds the rank goroutine spent in Run
 }
+
+var _ comm.Rank = (*Rank)(nil)
 
 // ID returns this rank's index in [0, P).
 func (r *Rank) ID() int { return r.id }
@@ -220,9 +235,8 @@ func (r *Rank) Send(to, tag int, payload any, size int) {
 	if to == r.id || to < 0 || to >= r.c.p {
 		panic(fmt.Sprintf("mpisim: rank %d sending to %d", r.id, to))
 	}
-	m := r.c.model
-	r.clock += m.OverheadSeconds
-	arrive := r.clock + m.LatencySeconds + float64(size)*m.SecondsPerByte
+	var arrive float64
+	r.clock, arrive = r.c.model.SendAdvance(r.clock, size)
 	r.c.msgs.Add(1)
 	r.c.bytes.Add(int64(size))
 	bx := r.c.boxes[to]
@@ -241,13 +255,13 @@ func (r *Rank) Recv(from int) Message {
 	for len(bx.q[from]) == 0 {
 		if r.c.aborted.Load() {
 			bx.mu.Unlock()
-			panic(abortPanic{})
+			panic(comm.AbortSignal{})
 		}
 		bx.cond.Wait()
 	}
 	msg := bx.pop(from)
 	bx.mu.Unlock()
-	r.arriveAt(msg.Arrive)
+	r.clock = r.c.model.RecvAdvance(r.clock, msg.Arrive)
 	return msg
 }
 
@@ -276,7 +290,7 @@ func (r *Rank) AnyRecv(sources []int) Message {
 		}
 		if r.c.aborted.Load() {
 			bx.mu.Unlock()
-			panic(abortPanic{})
+			panic(comm.AbortSignal{})
 		}
 		bx.cond.Wait()
 	}
@@ -289,7 +303,7 @@ func (r *Rank) AnyRecv(sources []int) Message {
 	}
 	msg := bx.pop(best)
 	bx.mu.Unlock()
-	r.arriveAt(msg.Arrive)
+	r.clock = r.c.model.RecvAdvance(r.clock, msg.Arrive)
 	return msg
 }
 
@@ -301,31 +315,13 @@ func (r *Rank) Sendrecv(to, tag int, payload any, size int, from int) Message {
 	return r.Recv(from)
 }
 
-func (r *Rank) arriveAt(t float64) {
-	if t > r.clock {
-		r.clock = t
-	}
-	r.clock += r.c.model.OverheadSeconds
-}
-
 // ------------------------------------------------------------- collectives
-
-// hops is the depth of a binomial tree over p ranks: ceil(log2 p).
-func hops(p int) float64 {
-	if p <= 1 {
-		return 0
-	}
-	return float64(bits.Len(uint(p - 1)))
-}
 
 // Barrier blocks until all P ranks have called it; every clock advances to
 // the latest arrival plus a dissemination round of log2(P) latencies.
 func (r *Rank) Barrier() {
 	res := r.c.coll.exchange(r, nil, 0)
-	t := maxFloat(res.clocks) + hops(r.c.p)*r.c.model.LatencySeconds
-	if t > r.clock {
-		r.clock = t
-	}
+	r.clock = r.c.model.BarrierAdvance(r.c.p, r.clock, res.clocks)
 }
 
 // Bcast broadcasts root's payload to every rank (each caller passes its own
@@ -336,22 +332,10 @@ func (r *Rank) Bcast(root int, payload any, size int) any {
 	c := r.c
 	res := c.coll.exchange(r, payload, size)
 	val, sz := res.vals[root], res.sizes[root]
-	h := hops(c.p)
-	m := c.model
-	if r.id == root {
-		if c.p > 1 {
-			r.clock += m.OverheadSeconds
-			c.collMsgs.Add(int64(c.p - 1))
-			c.collBytes.Add(int64((c.p - 1) * sz))
-		}
-	} else {
-		// Pipelined binomial tree, mirroring Gatherv: hops of wire latency
-		// and transfer, endpoint overheads once.
-		t := res.clocks[root] + h*(m.LatencySeconds+float64(sz)*m.SecondsPerByte) + 2*m.OverheadSeconds
-		if t > r.clock {
-			r.clock = t
-		}
-	}
+	var msgs, bytes int64
+	r.clock, msgs, bytes = c.model.BcastAdvance(c.p, r.id, root, r.clock, res.clocks[root], sz)
+	c.collMsgs.Add(msgs)
+	c.collBytes.Add(bytes)
 	return val
 }
 
@@ -366,32 +350,12 @@ func (r *Rank) Gatherv(root int, payload any, size int) []any {
 	if c.p == 1 {
 		return []any{res.vals[0]}
 	}
-	m := c.model
+	var msgs, bytes int64
+	r.clock, msgs, bytes = c.model.GathervAdvance(c.p, r.id, root, r.clock, res.clocks, res.sizes)
+	c.collMsgs.Add(msgs)
+	c.collBytes.Add(bytes)
 	if r.id != root {
-		r.clock += m.OverheadSeconds
 		return nil
-	}
-	latest, total := r.clock, 0
-	for i := 0; i < c.p; i++ {
-		if i == root {
-			continue
-		}
-		total += res.sizes[i]
-		if t := res.clocks[i] + m.OverheadSeconds; t > latest {
-			latest = t
-		}
-	}
-	// Pipelined binomial tree: intermediate ranks aggregate and forward, so
-	// the root sees log2(P) large messages whose per-message overhead
-	// overlaps with the transfers — the endpoints pay one overhead each and
-	// the wire serializes all contributed bytes once.
-	t := latest + hops(c.p)*m.LatencySeconds + 2*m.OverheadSeconds + float64(total)*m.SecondsPerByte
-	if t > r.clock {
-		r.clock = t
-	}
-	if c.p > 1 {
-		c.collMsgs.Add(int64(c.p - 1))
-		c.collBytes.Add(int64(total))
 	}
 	out := make([]any, c.p)
 	copy(out, res.vals)
@@ -399,15 +363,15 @@ func (r *Rank) Gatherv(root int, payload any, size int) []any {
 }
 
 // ReduceOp selects the Allreduce combiner.
-type ReduceOp int
+type ReduceOp = comm.ReduceOp
 
 const (
 	// ReduceSum adds contributions.
-	ReduceSum ReduceOp = iota
+	ReduceSum = comm.ReduceSum
 	// ReduceMax keeps the maximum contribution.
-	ReduceMax
+	ReduceMax = comm.ReduceMax
 	// ReduceMin keeps the minimum contribution.
-	ReduceMin
+	ReduceMin = comm.ReduceMin
 )
 
 // Allreduce combines every rank's contribution with op and returns the
@@ -417,33 +381,15 @@ const (
 func (r *Rank) Allreduce(v float64, op ReduceOp) float64 {
 	c := r.c
 	res := c.coll.exchange(r, v, 8)
-	out := res.vals[0].(float64)
-	for i := 1; i < c.p; i++ {
-		x := res.vals[i].(float64)
-		switch op {
-		case ReduceSum:
-			out += x
-		case ReduceMax:
-			if x > out {
-				out = x
-			}
-		case ReduceMin:
-			if x < out {
-				out = x
-			}
-		default:
-			panic(fmt.Sprintf("mpisim: unknown reduce op %d", int(op)))
-		}
+	vals := make([]float64, c.p)
+	for i, x := range res.vals {
+		vals[i] = x.(float64)
 	}
-	m := c.model
-	t := maxFloat(res.clocks) + hops(c.p)*(m.LatencySeconds+2*m.OverheadSeconds+8*m.SecondsPerByte)
-	if t > r.clock {
-		r.clock = t
-	}
-	if r.id == 0 && c.p > 1 {
-		c.collMsgs.Add(int64(2 * (c.p - 1)))
-		c.collBytes.Add(int64(16 * (c.p - 1)))
-	}
+	out := comm.Reduce(op, vals)
+	var msgs, bytes int64
+	r.clock, msgs, bytes = c.model.AllreduceAdvance(c.p, r.id, r.clock, res.clocks)
+	c.collMsgs.Add(msgs)
+	c.collBytes.Add(bytes)
 	return out
 }
 
@@ -534,21 +480,11 @@ func (cl *collective) exchange(r *Rank, val any, size int) *collResult {
 	for gen == cl.gen {
 		if r.c.aborted.Load() {
 			cl.mu.Unlock()
-			panic(abortPanic{})
+			panic(comm.AbortSignal{})
 		}
 		cl.cond.Wait()
 	}
 	res := cl.result
 	cl.mu.Unlock()
 	return res
-}
-
-func maxFloat(xs []float64) float64 {
-	mx := 0.0
-	for _, x := range xs {
-		if x > mx {
-			mx = x
-		}
-	}
-	return mx
 }

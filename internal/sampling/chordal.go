@@ -5,8 +5,8 @@ import (
 	"sort"
 
 	"parsample/internal/chordal"
+	"parsample/internal/comm"
 	"parsample/internal/graph"
-	"parsample/internal/mpisim"
 )
 
 // chordalSequential runs the Dearing–Shier–Warner filter on the whole graph.
@@ -52,9 +52,9 @@ func chordalNoComm(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	parts := make([]rankResult, p)
-	comm := newComm(opts, p)
-	defer comm.AbortOnCancel(ctx)()
-	comm.Run(func(r *mpisim.Rank) {
+	cm := newComm(opts, p)
+	defer cm.AbortOnCancel(ctx)()
+	runErr := cm.Run(func(r comm.Rank) {
 		rank := r.ID()
 		block := pt.Parts[rank]
 		local := graph.NewAccumulator(g.N(), 0)
@@ -107,7 +107,10 @@ func chordalNoComm(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeRanks(ChordalNoComm, g.N(), parts, border, comm), nil
+	if runErr != nil {
+		return nil, runErr
+	}
+	return mergeRanks(ChordalNoComm, g.N(), parts, border, cm), nil
 }
 
 // sortByExternal sorts border records by their external endpoint (U), with
@@ -148,8 +151,8 @@ func chordalWithComm(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	pt := graph.BlockPartition(opts.Order, opts.P)
 	p := pt.P()
 	parts := make([]rankResult, p)
-	comm := newComm(opts, p)
-	defer comm.AbortOnCancel(ctx)()
+	cm := newComm(opts, p)
+	defer cm.AbortOnCancel(ctx)()
 
 	// Precompute, per ordered pair (sender < receiver), the mutual border
 	// edges as seen from the sender side.
@@ -169,7 +172,7 @@ func chordalWithComm(ctx context.Context, g *graph.Graph, opts Options) (*Result
 		pairEdges[lo][hi] = append(pairEdges[lo][hi], graph.Edge{U: u, V: v})
 	})
 
-	comm.Run(func(r *mpisim.Rank) {
+	runErr := cm.Run(func(r comm.Rank) {
 		rank := r.ID()
 		block := pt.Parts[rank]
 		local := graph.NewAccumulator(g.N(), 0)
@@ -277,5 +280,8 @@ func chordalWithComm(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeRanks(ChordalComm, g.N(), parts, border, comm), nil
+	if runErr != nil {
+		return nil, runErr
+	}
+	return mergeRanks(ChordalComm, g.N(), parts, border, cm), nil
 }

@@ -1,0 +1,142 @@
+package sampling
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"parsample/internal/comm"
+	"parsample/internal/graph"
+)
+
+// Wire codecs for the sampler-private payload types. The simulated runtime
+// passes these between ranks as in-memory values; the TCP transport
+// serializes them through the comm payload registry. Registration happens
+// at init time so a transport-backed run decodes exactly the concrete
+// types the kernels type-assert on (borderMsg in chordalWithComm's receive
+// loop, rankResult in gatherParts).
+//
+// Determinism: borderMsg edge order is semantic (the receiver's chordality
+// tests and ops accounting depend on processing order), so the codec
+// preserves slice order exactly. rankResult edges are a set; they are
+// encoded in sorted (U,V) order so the wire bytes of a given partial
+// result are reproducible run over run.
+
+// Payload kinds owned by this package.
+const (
+	kindBorderMsg  = comm.KindUserBase + iota // chordalWithComm border chunk
+	kindRankResult                            // gathered per-rank partial result
+)
+
+func init() {
+	comm.RegisterCodec(comm.Codec{
+		Kind:   kindBorderMsg,
+		Match:  func(v any) bool { _, ok := v.(borderMsg); return ok },
+		Encode: func(v any) []byte { return appendEdges(nil, v.(borderMsg).edges) },
+		Decode: func(data []byte) (any, error) {
+			edges, rest, err := readEdges(data)
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("sampling: borderMsg payload: %d trailing bytes, %w", len(rest), err)
+			}
+			return borderMsg{edges: edges}, nil
+		},
+	})
+	comm.RegisterCodec(comm.Codec{
+		Kind:  kindRankResult,
+		Match: func(v any) bool { _, ok := v.(rankResult); return ok },
+		Encode: func(v any) []byte {
+			pr := v.(rankResult)
+			edges := make([]graph.Edge, 0, pr.edges.Len())
+			pr.edges.ForEach(func(u, v int32) {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			})
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].U != edges[j].U {
+					return edges[i].U < edges[j].U
+				}
+				return edges[i].V < edges[j].V
+			})
+			buf := binary.LittleEndian.AppendUint64(nil, uint64(pr.restarts))
+			return appendEdges(buf, edges)
+		},
+		Decode: func(data []byte) (any, error) {
+			if len(data) < 8 {
+				return nil, fmt.Errorf("sampling: rankResult payload is %d bytes", len(data))
+			}
+			restarts := int64(binary.LittleEndian.Uint64(data))
+			edges, rest, err := readEdges(data[8:])
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("sampling: rankResult payload: %d trailing bytes, %w", len(rest), err)
+			}
+			return rankResult{edges: (*edgeListCollection)(&edges), restarts: restarts}, nil
+		},
+	})
+}
+
+// edgeListCollection adapts a flat edge list to graph.EdgeCollection so a
+// decoded partial result can flow through mergeRanks unchanged (the merge
+// only reads Len/ForEach; Add supports symmetry with the encoder side).
+type edgeListCollection []graph.Edge
+
+func (l *edgeListCollection) Add(u, v int32) {
+	if u > v {
+		u, v = v, u
+	}
+	*l = append(*l, graph.Edge{U: u, V: v})
+}
+
+func (l *edgeListCollection) Len() int { return len(*l) }
+
+func (l *edgeListCollection) Has(u, v int32) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range *l {
+		if e.U == u && e.V == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *edgeListCollection) ForEach(f func(u, v int32)) {
+	for _, e := range *l {
+		f(e.U, e.V)
+	}
+}
+
+func (l *edgeListCollection) Graph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range *l {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// appendEdges serializes a [count][u,v]* edge vector onto buf.
+func appendEdges(buf []byte, edges []graph.Edge) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(edges)))
+	for _, e := range edges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+	}
+	return buf
+}
+
+// readEdges reverses appendEdges, returning the remaining bytes.
+func readEdges(data []byte) (edges []graph.Edge, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("edge vector truncated (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < 8*n {
+		return nil, nil, fmt.Errorf("edge vector truncated (%d of %d edges)", len(data)/8, n)
+	}
+	edges = make([]graph.Edge, n)
+	for i := range edges {
+		edges[i].U = int32(binary.LittleEndian.Uint32(data[8*i:]))
+		edges[i].V = int32(binary.LittleEndian.Uint32(data[8*i+4:]))
+	}
+	return edges, data[8*n:], nil
+}

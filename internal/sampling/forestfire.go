@@ -4,8 +4,8 @@ import (
 	"context"
 	"math/rand"
 
+	"parsample/internal/comm"
 	"parsample/internal/graph"
-	"parsample/internal/mpisim"
 )
 
 // Forest-fire sampling (Leskovec & Faloutsos, KDD'06) is the second agnostic
@@ -109,9 +109,9 @@ func forestFireParallel(ctx context.Context, g *graph.Graph, opts Options) (*Res
 	p := pt.P()
 	internal, border := pt.InternalEdgeCount(g)
 	parts := make([]rankResult, p)
-	comm := newComm(opts, p)
-	defer comm.AbortOnCancel(ctx)()
-	comm.Run(func(r *mpisim.Rank) {
+	cm := newComm(opts, p)
+	defer cm.AbortOnCancel(ctx)()
+	runErr := cm.Run(func(r comm.Rank) {
 		rank := r.ID()
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*104729))
 		block := pt.Parts[rank]
@@ -148,5 +148,8 @@ func forestFireParallel(ctx context.Context, g *graph.Graph, opts Options) (*Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeRanks(ForestFirePar, g.N(), parts, border, comm), nil
+	if runErr != nil {
+		return nil, runErr
+	}
+	return mergeRanks(ForestFirePar, g.N(), parts, border, cm), nil
 }

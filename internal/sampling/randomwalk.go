@@ -4,8 +4,8 @@ import (
 	"context"
 	"math/rand"
 
+	"parsample/internal/comm"
 	"parsample/internal/graph"
-	"parsample/internal/mpisim"
 )
 
 // walkEdges performs the paper's random-walk traversal over an adjacency
@@ -87,9 +87,9 @@ func randomWalkParallel(ctx context.Context, g *graph.Graph, opts Options) (*Res
 	p := pt.P()
 	internal, border := pt.InternalEdgeCount(g)
 	parts := make([]rankResult, p)
-	comm := newComm(opts, p)
-	defer comm.AbortOnCancel(ctx)()
-	comm.Run(func(r *mpisim.Rank) {
+	cm := newComm(opts, p)
+	defer cm.AbortOnCancel(ctx)()
+	runErr := cm.Run(func(r comm.Rank) {
 		rank := r.ID()
 		rng := rand.New(rand.NewSource(opts.Seed + int64(rank)*7919))
 		block := pt.Parts[rank]
@@ -128,7 +128,10 @@ func randomWalkParallel(ctx context.Context, g *graph.Graph, opts Options) (*Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeRanks(RandomWalkPar, g.N(), parts, border, comm), nil
+	if runErr != nil {
+		return nil, runErr
+	}
+	return mergeRanks(RandomWalkPar, g.N(), parts, border, cm), nil
 }
 
 // edgeCoin is a deterministic fair coin on a normalized edge.

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 
+	"parsample/internal/comm"
 	"parsample/internal/graph"
 	"parsample/internal/mpisim"
 )
@@ -94,10 +95,23 @@ type Options struct {
 	// Stats.RankSeconds are in this model's units, so pass the same model
 	// to CostModel.Time.
 	Model *mpisim.CostModel
+	// Comm overrides the communicator a parallel run executes on (nil
+	// builds a fresh mpisim simulation over P ranks). internal/transport
+	// passes its TCP communicator here so the same kernel closures run as
+	// one rank of a genuinely distributed job; the communicator's size must
+	// equal the partition count the run derives from Order and P.
+	Comm comm.Comm
 }
 
-// newComm builds the simulated runtime for a parallel run under opts.
-func newComm(opts Options, p int) *mpisim.Comm {
+// newComm builds the runtime for a parallel run under opts: the injected
+// communicator when one is set, otherwise a fresh mpisim simulation.
+func newComm(opts Options, p int) comm.Comm {
+	if opts.Comm != nil {
+		if got := opts.Comm.P(); got != p {
+			panic(fmt.Sprintf("sampling: injected communicator has %d ranks, partition has %d", got, p))
+		}
+		return opts.Comm
+	}
 	model := mpisim.DefaultCostModel()
 	if opts.Model != nil {
 		model = *opts.Model
@@ -175,7 +189,7 @@ func RunContext(ctx context.Context, alg Algorithm, g *graph.Graph, opts Options
 // cancelled; Comm.Run recovers the unwind and the sampler returns ctx.Err().
 // Rank compute loops call this at coarse strides so a cancelled parallel
 // run terminates promptly even when no rank is blocked in the runtime.
-func abortIfCancelled(ctx context.Context, r *mpisim.Rank) {
+func abortIfCancelled(ctx context.Context, r comm.Rank) {
 	if ctx.Err() != nil {
 		r.Abort()
 	}
@@ -196,7 +210,7 @@ func (pr rankResult) payloadBytes() int { return 8 * pr.edges.Len() }
 // gatherParts ends a rank's run: it gathers every rank's partial result to
 // rank 0 through the runtime (charging the collective's modeled cost) and,
 // on rank 0, scatters the payloads into parts for the sequential merge.
-func gatherParts(r *mpisim.Rank, mine rankResult, parts []rankResult) {
+func gatherParts(r comm.Rank, mine rankResult, parts []rankResult) {
 	gathered := r.Gatherv(0, mine, mine.payloadBytes())
 	if r.ID() != 0 {
 		return
@@ -211,9 +225,12 @@ func gatherParts(r *mpisim.Rank, mine rankResult, parts []rankResult) {
 // duplicates, and copies the runtime's accounting (per-rank ops, virtual
 // clocks, point-to-point and collective traffic) into the result stats.
 // n is the vertex universe of the input graph.
-func mergeRanks(alg Algorithm, n int, parts []rankResult, border int, comm *mpisim.Comm) *Result {
+func mergeRanks(alg Algorithm, n int, parts []rankResult, border int, cm comm.Comm) *Result {
 	total := 0
 	for _, pr := range parts {
+		if pr.edges == nil {
+			continue // non-root transport rank: Gatherv delivered nothing here
+		}
 		total += pr.edges.Len()
 	}
 	merged := graph.NewAccumulator(n, total)
@@ -222,9 +239,12 @@ func mergeRanks(alg Algorithm, n int, parts []rankResult, border int, comm *mpis
 		Edges:       merged,
 		BorderEdges: border,
 	}
-	comm.FillStats(&res.Stats)
+	cm.FillStats(&res.Stats)
 	for _, pr := range parts {
 		res.Stats.Restarts += pr.restarts
+		if pr.edges == nil {
+			continue
+		}
 		pr.edges.ForEach(merged.Add)
 	}
 	res.DuplicateBorderEdges = total - merged.Len()

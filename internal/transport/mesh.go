@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// meshIntake collects the inbound data connections of one job: the
+// listener's accept path deposits each dialing rank's connection here,
+// and the job's newComm takes them as it forms its mesh. Registered in a
+// meshRegistry before any peer can possibly dial (the coordinator
+// registers before shipping setups; a worker registers before acking its
+// setup), so a data hello never races its job.
+type meshIntake struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conns  map[int]intakeConn // by dialing rank
+	closed bool
+}
+
+type intakeConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func newMeshIntake() *meshIntake {
+	in := &meshIntake{conns: make(map[int]intakeConn)}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// deposit hands an accepted data connection to the waiting job. Returns
+// false when the intake is already closed (late dial after teardown).
+func (in *meshIntake) deposit(rank int, conn net.Conn, br *bufio.Reader) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return false
+	}
+	if _, dup := in.conns[rank]; dup {
+		return false
+	}
+	in.conns[rank] = intakeConn{conn: conn, br: br}
+	in.cond.Broadcast()
+	return true
+}
+
+// take waits until rank's connection has been deposited or the deadline
+// passes.
+func (in *meshIntake) take(rank int, deadline time.Time) (net.Conn, *bufio.Reader, error) {
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		in.mu.Lock()
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	})
+	defer timer.Stop()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if ic, ok := in.conns[rank]; ok {
+			delete(in.conns, rank)
+			return ic.conn, ic.br, nil
+		}
+		if in.closed {
+			return nil, nil, fmt.Errorf("transport: mesh intake closed")
+		}
+		if !time.Now().Before(deadline) {
+			return nil, nil, fmt.Errorf("transport: timed out")
+		}
+		in.cond.Wait()
+	}
+}
+
+// close refuses further deposits and drops any unclaimed connections.
+func (in *meshIntake) close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.closed = true
+	for r, ic := range in.conns {
+		ic.conn.Close()
+		delete(in.conns, r)
+	}
+	in.cond.Broadcast()
+}
+
+// meshRegistry routes inbound data hellos to the job they belong to.
+type meshRegistry struct {
+	mu      sync.Mutex
+	intakes map[uint64]*meshIntake // by job id
+}
+
+func newMeshRegistry() *meshRegistry {
+	return &meshRegistry{intakes: make(map[uint64]*meshIntake)}
+}
+
+func (mr *meshRegistry) register(jobID uint64) *meshIntake {
+	in := newMeshIntake()
+	mr.mu.Lock()
+	mr.intakes[jobID] = in
+	mr.mu.Unlock()
+	return in
+}
+
+func (mr *meshRegistry) unregister(jobID uint64) {
+	mr.mu.Lock()
+	in := mr.intakes[jobID]
+	delete(mr.intakes, jobID)
+	mr.mu.Unlock()
+	if in != nil {
+		in.close()
+	}
+}
+
+func (mr *meshRegistry) lookup(jobID uint64) *meshIntake {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	return mr.intakes[jobID]
+}
+
+// acceptHello performs the server side of the hello exchange on a fresh
+// connection: it validates the protocol version, acks, and returns the
+// kind, job id and dialing rank. The caller owns the connection.
+func acceptHello(conn net.Conn) (kind byte, jobID uint64, fromRank int, br *bufio.Reader, err error) {
+	conn.SetDeadline(time.Now().Add(helloTimeout))
+	br = bufio.NewReader(conn)
+	typ, body, err := readFrame(br)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if typ != fHello {
+		return 0, 0, 0, nil, fmt.Errorf("transport: expected hello, got frame type %d", typ)
+	}
+	d := wdec{buf: body}
+	ver := d.u16()
+	kind = d.u8()
+	jobID = d.u64()
+	fromRank = int(d.u32())
+	if err := d.finish(); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if ver != protoVersion {
+		return 0, 0, 0, nil, fmt.Errorf("transport: peer speaks protocol %d, want %d", ver, protoVersion)
+	}
+	bw := bufio.NewWriter(conn)
+	var e wenc
+	e.u16(protoVersion)
+	if err := writeFrame(bw, fHelloAck, e.buf); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return kind, jobID, fromRank, br, nil
+}

@@ -1,0 +1,384 @@
+package transport
+
+import (
+	"fmt"
+
+	"parsample/internal/comm"
+)
+
+// Rank is the local processor's handle inside Comm.Run. All methods must
+// be called from the goroutine Run passed the handle to (SPMD
+// discipline); the remote P-1 ranks live in other processes.
+//
+// The virtual clock advances through the same comm.CostModel helpers the
+// simulator uses — wall time influences nothing but the measured wall
+// fields in RunStats.
+type Rank struct {
+	c      *Comm
+	id     int
+	ops    int64
+	clock  float64
+	wall   float64
+	seqOut []int64 // next fData sequence number, by destination
+	gen    uint64  // collective generation counter (lockstep across ranks)
+}
+
+var _ comm.Rank = (*Rank)(nil)
+
+// ID returns this rank's index in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// P returns the communicator size.
+func (r *Rank) P() int { return r.c.cfg.p }
+
+// Ops returns the operations charged so far via Compute.
+func (r *Rank) Ops() int64 { return r.ops }
+
+// Clock returns the rank's virtual time in modeled seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Compute charges n elementary operations of local work, advancing the
+// virtual clock by n·SecondsPerOp.
+func (r *Rank) Compute(n int64) {
+	r.ops += n
+	r.clock += float64(n) * r.c.cfg.model.SecondsPerOp
+}
+
+// Abort unwinds the calling rank goroutine with the abort sentinel;
+// Comm.Run recovers it and returns a structured error.
+func (r *Rank) Abort() { panic(comm.AbortSignal{}) }
+
+// abortIfDead unwinds the rank when the run has been aborted (by a peer
+// failure, a cancelled context, or a local send error).
+func (r *Rank) abortIfDead() {
+	r.c.mu.Lock()
+	dead := r.c.aborted
+	r.c.mu.Unlock()
+	if dead {
+		panic(comm.AbortSignal{})
+	}
+}
+
+// send posts one frame, converting a transport failure into an abort of
+// the local run (so kernels never see a half-sent state).
+func (r *Rank) send(to int, typ byte, body []byte) {
+	if err := r.c.post(to, typ, body); err != nil {
+		r.c.fail(err)
+		panic(comm.AbortSignal{})
+	}
+}
+
+// encode serializes a payload through the comm codec registry; an
+// unregistered payload type is a programming error and fails the run.
+func (r *Rank) encode(payload any) (kind uint16, data []byte) {
+	kind, data, err := comm.EncodePayload(payload)
+	if err != nil {
+		r.c.fail(fmt.Errorf("transport: rank %d: %w", r.id, err))
+		panic(comm.AbortSignal{})
+	}
+	return kind, data
+}
+
+// Send posts a message to rank `to`. It never blocks — the frame lands in
+// the peer's unbounded send queue and a writer goroutine drains it — so
+// no send/receive ordering can deadlock a run. The sender's clock pays
+// the per-message overhead; the frame carries the modeled arrival stamp
+// the receiver's delivery rule orders by.
+func (r *Rank) Send(to, tag int, payload any, size int) {
+	if to == r.id || to < 0 || to >= r.c.cfg.p {
+		panic(fmt.Sprintf("transport: rank %d sending to %d", r.id, to))
+	}
+	r.abortIfDead()
+	kind, data := r.encode(payload)
+	var arrive float64
+	r.clock, arrive = r.c.cfg.model.SendAdvance(r.clock, size)
+	r.c.msgs.Add(1)
+	r.c.bytes.Add(int64(size))
+	var e wenc
+	e.u32(uint32(r.id))
+	e.i64(r.seqOut[to])
+	r.seqOut[to]++
+	e.u32(uint32(tag))
+	e.f64(arrive)
+	e.u32(uint32(size))
+	e.u16(kind)
+	e.bytes(data)
+	r.send(to, fData, e.buf)
+}
+
+// Recv blocks until a message from rank `from` is pending and returns the
+// oldest one, advancing the clock to the message's modeled arrival (if
+// not already past it) plus the per-message overhead.
+func (r *Rank) Recv(from int) comm.Message {
+	c := r.c
+	c.mu.Lock()
+	for len(c.q[from]) == 0 {
+		if c.aborted {
+			c.mu.Unlock()
+			panic(comm.AbortSignal{})
+		}
+		c.cond.Wait()
+	}
+	msg := c.popLocked(from)
+	c.mu.Unlock()
+	r.clock = c.cfg.model.RecvAdvance(r.clock, msg.Arrive)
+	return msg
+}
+
+// AnyRecv receives from any of the given sources under mpisim's exact
+// delivery rule: wait until every listed source has a pending message,
+// then deliver the one with the smallest modeled arrival stamp (sender
+// rank breaks ties). TCP arrival order plays no part, so the delivery
+// sequence — and everything downstream of it — matches the simulator.
+func (r *Rank) AnyRecv(sources []int) comm.Message {
+	if len(sources) == 0 {
+		panic("transport: AnyRecv with no sources")
+	}
+	c := r.c
+	c.mu.Lock()
+	for {
+		ready := true
+		for _, s := range sources {
+			if len(c.q[s]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		if c.aborted {
+			c.mu.Unlock()
+			panic(comm.AbortSignal{})
+		}
+		c.cond.Wait()
+	}
+	best := sources[0]
+	for _, s := range sources[1:] {
+		h, b := c.q[s][0], c.q[best][0]
+		if h.Arrive < b.Arrive || (h.Arrive == b.Arrive && s < best) {
+			best = s
+		}
+	}
+	msg := c.popLocked(best)
+	c.mu.Unlock()
+	r.clock = c.cfg.model.RecvAdvance(r.clock, msg.Arrive)
+	return msg
+}
+
+// popLocked removes and returns the head of q[from]; caller holds mu.
+func (c *Comm) popLocked(from int) comm.Message {
+	msg := c.q[from][0]
+	c.q[from][0] = comm.Message{}
+	c.q[from] = c.q[from][1:]
+	if len(c.q[from]) == 0 {
+		c.q[from] = nil
+	}
+	return msg
+}
+
+// Sendrecv posts the send (never blocking) and then receives from `from` —
+// the classic deadlock-safe exchange primitive.
+func (r *Rank) Sendrecv(to, tag int, payload any, size int, from int) comm.Message {
+	r.Send(to, tag, payload, size)
+	return r.Recv(from)
+}
+
+// ------------------------------------------------------------- collectives
+
+// collective runs one generation of the star protocol and returns the
+// assembled snapshot: every rank's entry clock and size, plus the payload
+// values this rank's op needs. Ranks call collectives in lockstep (SPMD),
+// so the generation counter alone identifies the exchange; rank 0 is the
+// hub — it collects the P-1 deposits, assembles the snapshot, and replies
+// to each peer with exactly the values that peer's op delivers there.
+func (r *Rank) collective(op byte, root int, payload any, size int) *collSnapshot {
+	c := r.c
+	gen := r.gen
+	r.gen++
+	if c.cfg.p == 1 {
+		return &collSnapshot{clocks: []float64{r.clock}, sizes: []int{size}, vals: []any{payload}}
+	}
+	r.abortIfDead()
+	if r.id != 0 {
+		kind, data := r.encode(payload)
+		var e wenc
+		e.u64(gen)
+		e.u8(op)
+		e.u32(uint32(root))
+		e.u32(uint32(r.id))
+		e.f64(r.clock)
+		e.u32(uint32(size))
+		e.u16(kind)
+		e.bytes(data)
+		r.send(0, fColl, e.buf)
+		c.mu.Lock()
+		for c.collResp == nil || c.collRespGen != gen {
+			if c.aborted {
+				c.mu.Unlock()
+				panic(comm.AbortSignal{})
+			}
+			c.cond.Wait()
+		}
+		snap := c.collResp
+		c.collResp = nil
+		c.mu.Unlock()
+		// The hub's response carries the full clock/size vectors but only
+		// the payload values this rank's op needs; splice the local value
+		// in so snap.vals[self] is always populated.
+		if snap.vals[r.id] == nil {
+			snap.vals[r.id] = payload
+		}
+		return snap
+	}
+
+	// Rank 0: wait for every peer's deposit of this generation.
+	c.mu.Lock()
+	for {
+		ready := true
+		for peer := 1; peer < c.cfg.p; peer++ {
+			if c.collDeposit[peer] == nil {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		if c.aborted {
+			c.mu.Unlock()
+			panic(comm.AbortSignal{})
+		}
+		c.cond.Wait()
+	}
+	snap := &collSnapshot{
+		clocks: make([]float64, c.cfg.p),
+		sizes:  make([]int, c.cfg.p),
+		vals:   make([]any, c.cfg.p),
+	}
+	snap.clocks[0] = r.clock
+	snap.sizes[0] = size
+	snap.vals[0] = payload
+	var mismatch error
+	for peer := 1; peer < c.cfg.p; peer++ {
+		dep := c.collDeposit[peer]
+		c.collDeposit[peer] = nil
+		if dep.gen != gen || dep.op != op || dep.root != root {
+			mismatch = fmt.Errorf("transport: collective mismatch: rank %d deposited gen %d op %d root %d, rank 0 is at gen %d op %d root %d",
+				peer, dep.gen, dep.op, dep.root, gen, op, root)
+			continue
+		}
+		snap.clocks[peer] = dep.clock
+		snap.sizes[peer] = dep.size
+		snap.vals[peer] = dep.val
+	}
+	c.mu.Unlock()
+	if mismatch != nil {
+		c.fail(mismatch)
+		panic(comm.AbortSignal{})
+	}
+	for peer := 1; peer < c.cfg.p; peer++ {
+		r.send(peer, fCollResp, r.encodeCollResp(gen, op, root, peer, snap))
+	}
+	return snap
+}
+
+// encodeCollResp builds the fCollResp body for one peer: the full clock
+// and size vectors plus only the payload values the peer's op delivers
+// there — nothing for Barrier, root's value for Bcast, every value for
+// Allreduce and for the Gatherv root.
+func (r *Rank) encodeCollResp(gen uint64, op byte, root, peer int, snap *collSnapshot) []byte {
+	var need []int
+	switch op {
+	case opBcast:
+		need = []int{root}
+	case opGatherv:
+		if peer == root {
+			need = make([]int, len(snap.vals))
+			for i := range need {
+				need[i] = i
+			}
+		}
+	case opAllreduce:
+		need = make([]int, len(snap.vals))
+		for i := range need {
+			need[i] = i
+		}
+	}
+	var e wenc
+	e.u64(gen)
+	e.f64s(snap.clocks)
+	e.ints(snap.sizes)
+	e.u32(uint32(len(need)))
+	for _, rk := range need {
+		kind, data := r.encode(snap.vals[rk])
+		e.u32(uint32(rk))
+		e.u16(kind)
+		e.bytes(data)
+	}
+	return e.buf
+}
+
+// Barrier blocks until all P ranks have called it; every clock advances
+// to the latest arrival plus a dissemination round of log2(P) latencies.
+func (r *Rank) Barrier() {
+	snap := r.collective(opBarrier, 0, nil, 0)
+	r.clock = r.c.cfg.model.BarrierAdvance(r.c.cfg.p, r.clock, snap.clocks)
+}
+
+// Bcast broadcasts root's payload to every rank (each caller passes its
+// own payload; only root's is delivered) and returns it.
+func (r *Rank) Bcast(root int, payload any, size int) any {
+	c := r.c
+	snap := r.collective(opBcast, root, payload, size)
+	val, sz := snap.vals[root], snap.sizes[root]
+	var msgs, bytes int64
+	r.clock, msgs, bytes = c.cfg.model.BcastAdvance(c.cfg.p, r.id, root, r.clock, snap.clocks[root], sz)
+	c.collMsgs.Add(msgs)
+	c.collBytes.Add(bytes)
+	return val
+}
+
+// Gatherv gathers every rank's (variable-size) payload to root. At root
+// the returned slice holds rank i's payload at index i; every other rank
+// gets nil.
+func (r *Rank) Gatherv(root int, payload any, size int) []any {
+	c := r.c
+	snap := r.collective(opGatherv, root, payload, size)
+	if c.cfg.p == 1 {
+		return []any{snap.vals[0]}
+	}
+	var msgs, bytes int64
+	r.clock, msgs, bytes = c.cfg.model.GathervAdvance(c.cfg.p, r.id, root, r.clock, snap.clocks, snap.sizes)
+	c.collMsgs.Add(msgs)
+	c.collBytes.Add(bytes)
+	if r.id != root {
+		return nil
+	}
+	out := make([]any, c.cfg.p)
+	copy(out, snap.vals)
+	return out
+}
+
+// Allreduce combines every rank's contribution with op and returns the
+// result on all ranks (folded in rank order, so bitwise identical
+// everywhere).
+func (r *Rank) Allreduce(v float64, op comm.ReduceOp) float64 {
+	c := r.c
+	snap := r.collective(opAllreduce, 0, v, 8)
+	vals := make([]float64, c.cfg.p)
+	for i, x := range snap.vals {
+		f, ok := x.(float64)
+		if !ok {
+			c.fail(fmt.Errorf("transport: rank %d Allreduce contribution is %T, want float64", i, x))
+			panic(comm.AbortSignal{})
+		}
+		vals[i] = f
+	}
+	out := comm.Reduce(op, vals)
+	var msgs, bytes int64
+	r.clock, msgs, bytes = c.cfg.model.AllreduceAdvance(c.cfg.p, r.id, r.clock, snap.clocks)
+	c.collMsgs.Add(msgs)
+	c.collBytes.Add(bytes)
+	return out
+}

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"fmt"
+
+	"parsample/internal/comm"
+	"parsample/internal/graph"
+	"parsample/internal/sampling"
+	"parsample/internal/snapshot"
+)
+
+// shardGraph extracts the rank's shard of g under partition pt: a same-N
+// CSR holding every edge with at least one endpoint in the rank's block.
+// Keeping the vertex universe intact means the shard answers exactly the
+// queries a rank makes of the full graph — Degree/Neighbors of block
+// vertices are complete (all their edges are incident to the block), the
+// block's induced subgraph is intact, and ForEachEdge restricted to
+// block-incident edges enumerates them in the same lexicographic order —
+// so a kernel running on the shard computes bit-identically to the same
+// rank running on the full graph.
+func shardGraph(g *graph.Graph, pt *graph.Partition, rank int) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	rk := int32(rank)
+	g.ForEachEdge(func(u, v int32) {
+		if pt.Part[u] == rk || pt.Part[v] == rk {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Build()
+}
+
+// encodeShard snapshots the rank's shard for the setup frame.
+func encodeShard(g *graph.Graph, pt *graph.Partition, rank int) []byte {
+	return snapshot.EncodeGraph(shardGraph(g, pt, rank))
+}
+
+// jobSpec is the payload of an fSetup frame: everything one worker needs
+// to run its rank of a sampling job — seat in the mesh, cost model, the
+// kernel's parameters, and the rank's shard of the input graph.
+type jobSpec struct {
+	jobID uint64
+	rank  int
+	p     int
+	model comm.CostModel
+	alg   sampling.Algorithm
+	seed  int64
+	order []int32
+	addrs []string // addrs[r] = listen address of rank r's process
+	shard []byte   // snapshot.EncodeGraph of the rank's shard
+}
+
+func encodeJobSpec(js *jobSpec) []byte {
+	var e wenc
+	e.u64(js.jobID)
+	e.u32(uint32(js.rank))
+	e.u32(uint32(js.p))
+	e.f64(js.model.SecondsPerOp)
+	e.f64(js.model.LatencySeconds)
+	e.f64(js.model.OverheadSeconds)
+	e.f64(js.model.SecondsPerByte)
+	e.f64(js.model.SerialSecPerOp)
+	e.u32(uint32(js.alg))
+	e.i64(js.seed)
+	e.i32s(js.order)
+	e.strs(js.addrs)
+	e.bytes(js.shard)
+	return e.buf
+}
+
+func decodeJobSpec(body []byte) (*jobSpec, error) {
+	d := wdec{buf: body}
+	js := &jobSpec{}
+	js.jobID = d.u64()
+	js.rank = int(d.u32())
+	js.p = int(d.u32())
+	js.model.SecondsPerOp = d.f64()
+	js.model.LatencySeconds = d.f64()
+	js.model.OverheadSeconds = d.f64()
+	js.model.SecondsPerByte = d.f64()
+	js.model.SerialSecPerOp = d.f64()
+	js.alg = sampling.Algorithm(d.u32())
+	js.seed = d.i64()
+	js.order = d.i32s()
+	js.addrs = d.strs()
+	js.shard = d.bytes()
+	if err := d.finish(); err != nil {
+		return nil, fmt.Errorf("transport: bad job spec: %w", err)
+	}
+	if js.rank < 1 || js.rank >= js.p || js.p < 2 || len(js.addrs) != js.p {
+		return nil, fmt.Errorf("transport: job spec rank %d of %d with %d addresses", js.rank, js.p, len(js.addrs))
+	}
+	return js, nil
+}
+
+// decodeShard reconstructs the shard graph from its snapshot bytes.
+func (js *jobSpec) decodeShard() (*graph.Graph, error) {
+	return snapshot.DecodeGraph(js.shard)
+}

@@ -1,0 +1,297 @@
+// Package transport is the TCP implementation of the comm.Comm/comm.Rank
+// surface: each rank is a real process, point-to-point messages and
+// collective deposits travel as length-prefixed binary frames with CRC64
+// trailers (the internal/snapshot codec discipline), and per-peer
+// connections carry unbounded nonblocking send queues that mirror
+// mpisim's progress-driven semantics — a send enqueues and returns, a
+// dedicated writer goroutine drains, so no send/receive ordering can
+// deadlock a run.
+//
+// Determinism: every data frame is stamped by the sender with the modeled
+// arrival time its virtual clock computed through the shared
+// comm.CostModel helpers — the same arithmetic mpisim runs. AnyRecv then
+// applies mpisim's exact delivery rule (wait until every candidate source
+// has a pending message; deliver the smallest stamp, sender rank breaking
+// ties), so a sampler run over real TCP produces byte-identical edge
+// sets, per-rank clocks, and traffic counters to the simulated run on the
+// same seed and partition. Wall time influences nothing but the measured
+// RunStats wall fields.
+//
+// Failure model: a dead peer surfaces as a connection error in that
+// peer's reader; the first failure aborts the local run (waking every
+// blocked primitive), best-effort fAbort frames fan the abort out to the
+// rest of the mesh, and Comm.Run returns a structured error instead of
+// wedging. The `transport.send` / `transport.send.rank<i>` failpoints
+// inject exactly that failure for fault drills.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+// protoVersion is negotiated in the hello exchange; a mismatch refuses the
+// connection instead of corrupting a run.
+const protoVersion = 1
+
+// maxFrame bounds a single frame (1 GiB): large enough for any shard or
+// gathered partial result the samplers produce, small enough to reject a
+// corrupt length prefix before allocating.
+const maxFrame = 1 << 30
+
+// Frame types. Every frame is [u32 length][u8 type][body][u64 CRC64-ECMA
+// over type+body]; the CRC is verified before the body is parsed, so a
+// torn or corrupted stream surfaces as ErrCorrupt, never a panic.
+const (
+	fHello    byte = 1  // conn opener: proto version + kind + job + rank
+	fHelloAck byte = 2  // acceptor's version echo
+	fSetup    byte = 3  // control: job spec + shard (coordinator → worker)
+	fSetupAck byte = 4  // worker registered the job's mesh intake
+	fDone     byte = 5  // control: job finished on the worker (ok or error)
+	fData     byte = 6  // point-to-point message
+	fColl     byte = 7  // collective deposit (rank → rank 0)
+	fCollResp byte = 8  // collective snapshot (rank 0 → rank)
+	fStats    byte = 9  // end-of-run rank accounting (rank → rank 0)
+	fStatsAck byte = 10 // rank 0 collected all stats; teardown may begin
+	fAbort    byte = 11 // best-effort abort fan-out with a reason
+)
+
+// Hello connection kinds.
+const (
+	helloControl byte = 0 // coordinator-to-worker job channel
+	helloData    byte = 1 // rank-to-rank mesh channel for one job
+)
+
+// ErrCorrupt reports a frame that failed structural or checksum
+// validation.
+var ErrCorrupt = errors.New("transport: corrupt frame")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// writeFrame appends one framed message to w and flushes it.
+func writeFrame(w *bufio.Writer, typ byte, body []byte) error {
+	if len(body) > maxFrame-9 {
+		return fmt.Errorf("transport: frame body %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(1+len(body)+8))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	crc := crc64.Update(crc64.Update(0, crcTable, []byte{typ}), crcTable, body)
+	var tr [8]byte
+	binary.LittleEndian.PutUint64(tr[:], crc)
+	if _, err := w.Write(tr[:]); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one framed message, verifying the length bound and the
+// CRC trailer before returning the body.
+func readFrame(r *bufio.Reader) (typ byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 9 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	typ, body = buf[0], buf[1:n-8]
+	want := binary.LittleEndian.Uint64(buf[n-8:])
+	if got := crc64.Update(0, crcTable, buf[:n-8]); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch on frame type %d", ErrCorrupt, typ)
+	}
+	return typ, body, nil
+}
+
+// ---------------------------------------------------------- body builders
+
+// wenc builds a frame body.
+type wenc struct{ buf []byte }
+
+func (e *wenc) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *wenc) u16(v uint16)  { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *wenc) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *wenc) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *wenc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *wenc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *wenc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *wenc) str(s string) { e.bytes([]byte(s)) }
+
+func (e *wenc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *wenc) ints(v []int) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.i64(int64(x))
+	}
+}
+
+func (e *wenc) i32s(v []int32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+func (e *wenc) strs(v []string) {
+	e.u32(uint32(len(v)))
+	for _, s := range v {
+		e.str(s)
+	}
+}
+
+// wdec parses a frame body with a sticky error; finish() reports any
+// decode failure or trailing garbage as ErrCorrupt.
+type wdec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wdec) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *wdec) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) || n < 0 {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *wdec) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wdec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *wdec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wdec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *wdec) i64() int64   { return int64(d.u64()) }
+func (d *wdec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a u32 length prefix bounded by the remaining body, so a
+// corrupt count cannot drive an over-allocation.
+func (d *wdec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && (n < 0 || n*elemSize > len(d.buf)-d.off) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *wdec) bytes() []byte { return d.take(d.count(1)) }
+func (d *wdec) str() string   { return string(d.bytes()) }
+
+func (d *wdec) f64s() []float64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *wdec) ints() []int {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.i64())
+	}
+	return out
+}
+
+func (d *wdec) i32s() []int32 {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}
+
+func (d *wdec) strs() []string {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *wdec) finish() error {
+	if d.err == nil && d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return d.err
+}
